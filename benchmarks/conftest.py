@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure.  The synthetic
+datasets are generated once per session and cached in the experiment
+context, so individual benchmarks measure the experiment's analysis
+cost; dedicated benchmarks cover dataset generation and the fluid
+model themselves.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_ctx() -> ExperimentContext:
+    """Benchmark-scale context: small but statistically meaningful."""
+    ctx = ExperimentContext.small(racks=20, runs_per_rack=4, seed=11)
+    # Pre-generate both region datasets so experiment benchmarks measure
+    # analysis, not generation.
+    ctx.dataset("RegA")
+    ctx.dataset("RegB")
+    return ctx

@@ -1,0 +1,32 @@
+"""Benchmarks — extension experiments.
+
+The cross-validation sweep, the GSO-inflation study, and the
+buffer-sharing policy ablation.
+"""
+
+from repro.experiments import (
+    ablation_policies,
+    crossval_fluid,
+    gso_inflation,
+    implication_placement,
+)
+
+
+def test_bench_crossval(benchmark, bench_ctx):
+    result = benchmark.pedantic(crossval_fluid.run, args=(bench_ctx,), rounds=2)
+    assert result.metric("max_gap") < 0.06
+
+
+def test_bench_gso_inflation(benchmark, bench_ctx):
+    result = benchmark(gso_inflation.run, bench_ctx)
+    assert result.metric("peak_utilization_100us") > 1.0
+
+
+def test_bench_policy_ablation(benchmark, bench_ctx):
+    result = benchmark.pedantic(ablation_policies.run, args=(bench_ctx,), rounds=2)
+    assert "spread_loss_dynamic-threshold" in result.metrics
+
+
+def test_bench_placement_metrics(benchmark, bench_ctx):
+    result = benchmark(implication_placement.run, bench_ctx)
+    assert "spearman_burst_risk" in result.metrics

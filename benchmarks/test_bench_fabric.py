@@ -1,0 +1,26 @@
+"""Benchmarks — fabric layer and the fabric-smoothing experiment."""
+
+from repro.experiments import fabric_smoothing
+from repro.simnet.fabric import build_pod
+from repro.simnet.tcp import DctcpControl, open_connection
+
+
+def test_bench_cross_rack_transfer(benchmark):
+    """A 1 MB DCTCP transfer across the fabric (4 hops)."""
+
+    def run():
+        pod = build_pod(racks=2, servers_per_rack=2)
+        sender, _ = open_connection(
+            pod.racks[0].hosts[0], pod.racks[1].hosts[0], DctcpControl(mss=1448)
+        )
+        sender.send(1_000_000)
+        pod.engine.run_until(1.0)
+        return sender
+
+    sender = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert sender.done
+
+
+def test_bench_fabric_smoothing(benchmark, bench_ctx):
+    result = benchmark.pedantic(fabric_smoothing.run, args=(bench_ctx,), rounds=3)
+    assert result.metric("span_stretch") > 1.0

@@ -1,0 +1,12 @@
+"""Benchmark — Figure 1: dynamic-threshold queue-share curve plus packet-level cross-validation.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig01_queue_share as experiment
+
+
+def test_bench_fig01(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("share_alpha1_s1") == 0.5

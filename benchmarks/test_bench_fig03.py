@@ -1,0 +1,12 @@
+"""Benchmark — Figure 3: full packet-level multicast validation (simulation + alignment).
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig03_multicast_validation as experiment
+
+
+def test_bench_fig03(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("burst_alignment_fraction") >= 0.9

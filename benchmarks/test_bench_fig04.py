@@ -1,0 +1,12 @@
+"""Benchmark — Figure 4: burst-generator validation (5 concurrent bursty servers).
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig04_burst_validation as experiment
+
+
+def test_bench_fig04(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("max_concurrent_bursty") == 5

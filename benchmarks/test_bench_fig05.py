@@ -1,0 +1,12 @@
+"""Benchmark — Figure 5: synthesizing the example low/high contention runs.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig05_example_runs as experiment
+
+
+def test_bench_fig05(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("high_contention_mean") > result.metric("low_contention_mean")

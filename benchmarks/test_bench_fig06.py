@@ -1,0 +1,12 @@
+"""Benchmark — Figure 6: burst-frequency CDF over all RegA server runs.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig06_burst_frequency as experiment
+
+
+def test_bench_fig06(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("median_bursts_per_sec") > 0

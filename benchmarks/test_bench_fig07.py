@@ -1,0 +1,12 @@
+"""Benchmark — Figure 7: burst-length distributions (all/contended/non-contended).
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig07_burst_length as experiment
+
+
+def test_bench_fig07(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert 1 <= result.metric("median_length_ms") <= 5

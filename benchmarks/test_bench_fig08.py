@@ -1,0 +1,12 @@
+"""Benchmark — Figure 8: connection counts inside vs outside bursts.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig08_connections as experiment
+
+
+def test_bench_fig08(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("median_ratio") > 1.0

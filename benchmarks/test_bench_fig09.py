@@ -1,0 +1,12 @@
+"""Benchmark — Figure 9: busy-hour contention CDF across racks (both regions).
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig09_contention_cdf as experiment
+
+
+def test_bench_fig09(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("bimodal_gap_ratio") > 1.5

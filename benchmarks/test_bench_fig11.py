@@ -1,0 +1,12 @@
+"""Benchmark — Figure 11: dominant-task density sorted by rack contention.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig11_dominant_task as experiment
+
+
+def test_bench_fig11(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("high_median_share_pct") >= 50

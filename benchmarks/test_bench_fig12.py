@@ -1,0 +1,12 @@
+"""Benchmark — Figure 12: per-rack day-long contention bands.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig12_rack_variation as experiment
+
+
+def test_bench_fig12(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("RegA_high_band_width") >= result.metric("RegA_low_band_width")

@@ -1,0 +1,12 @@
+"""Benchmark — Figure 13: hourly contention box statistics.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig13_diurnal as experiment
+
+
+def test_bench_fig13(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert "rega_high_peak_increase" in result.metrics

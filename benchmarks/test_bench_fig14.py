@@ -1,0 +1,12 @@
+"""Benchmark — Figure 14: contention vs per-minute ingress volume.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig14_volume_correlation as experiment
+
+
+def test_bench_fig14(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("pearson_r") > 0

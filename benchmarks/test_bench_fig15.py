@@ -1,0 +1,12 @@
+"""Benchmark — Figure 15: within-run contention variation and buffer-share drop.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig15_run_variation as experiment
+
+
+def test_bench_fig15(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert 0 < result.metric("median_share_drop") < 1

@@ -1,0 +1,12 @@
+"""Benchmark — Figure 16: loss rate vs maximum burst contention per rack class.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig16_contention_loss as experiment
+
+
+def test_bench_fig16(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("typical_loss_at_contention_le5") >= 0

@@ -1,0 +1,12 @@
+"""Benchmark — Figure 17: normalized switch discards by rack class.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig17_switch_discards as experiment
+
+
+def test_bench_fig17(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.series

@@ -1,0 +1,12 @@
+"""Benchmark — Figure 18: loss rate vs burst length (contended vs non-contended).
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import fig18_length_loss as experiment
+
+
+def test_bench_fig18(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("peak_contended_loss_pct") >= 0

@@ -1,0 +1,81 @@
+"""Benchmarks — Millisampler itself (Section 4.3).
+
+Measures the reproduction's sampler on the metrics the paper reports
+for the real one: per-packet observation cost, the fixed counter
+read-out, and the cost-model figures.  Absolute nanoseconds differ
+(Python vs eBPF), but the *structure* — tiny per-packet cost, fixed
+read-out, disabled fast path far cheaper than enabled — must hold.
+"""
+
+import numpy as np
+
+from repro.core.millisampler import CostModel, Direction, Millisampler, PacketObservation
+from repro.core.run import RunMetadata
+from repro.experiments import perf_sampler
+
+
+def _fresh_sampler(count_flows=True) -> Millisampler:
+    sampler = Millisampler(
+        RunMetadata(host="bench"),
+        sampling_interval=1e-3,
+        buckets=2000,
+        cpus=4,
+        count_flows=count_flows,
+    )
+    sampler.attach()
+    sampler.enable()
+    return sampler
+
+
+def test_bench_observe_packet(benchmark):
+    """Per-packet cost on the enabled path."""
+    sampler = _fresh_sampler()
+    observation = PacketObservation(
+        time=0.5, direction=Direction.INGRESS, size=1500, flow_key=("f", 1), cpu=1
+    )
+
+    benchmark(sampler.observe, observation)
+    assert sampler.stats.packets_processed > 0
+
+
+def test_bench_observe_disabled(benchmark):
+    """The disabled fast path (the paper's 7 ns case)."""
+    sampler = _fresh_sampler()
+    sampler.finish(now=10.0)  # run complete -> disabled
+    observation = PacketObservation(
+        time=11.0, direction=Direction.INGRESS, size=1500, flow_key=("f", 1)
+    )
+
+    benchmark(sampler.observe, observation)
+    assert sampler.stats.packets_skipped_disabled > 0
+
+
+def test_bench_read_run(benchmark):
+    """Counter read-out (the paper's fixed 4.3 ms map read)."""
+
+    def setup():
+        sampler = _fresh_sampler()
+        rng = np.random.default_rng(0)
+        for time in np.sort(rng.uniform(0, 1.9, size=2000)):
+            sampler.observe(
+                PacketObservation(
+                    time=float(time),
+                    direction=Direction.INGRESS,
+                    size=1500,
+                    flow_key=int(rng.integers(0, 50)),
+                    cpu=int(rng.integers(0, 4)),
+                )
+            )
+        sampler.finish(now=10.0)
+        return (sampler,), {}
+
+    def read(sampler):
+        return sampler.read_run()
+
+    run = benchmark.pedantic(read, setup=setup, rounds=10)
+
+
+def test_bench_cost_model(benchmark):
+    """Evaluating the Section 4.3 cost model and break-even point."""
+    result = benchmark(perf_sampler.run, None)
+    assert 30_000 <= result.metric("breakeven_packets") <= 36_000

@@ -1,0 +1,70 @@
+"""Benchmarks — the substrates themselves.
+
+Dataset generation throughput (the cost of a region-day), the fluid
+buffer model step rate, and the packet-level simulator event rate.
+These bound how far the experiment scale can be pushed.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.config import FleetConfig
+from repro.fleet.buffermodel import FluidBufferModel
+from repro.fleet.dataset import generate_region_dataset
+from repro.fleet.rackrun import RackRunSynthesizer
+from repro.simnet.tcp import DctcpControl, open_connection
+from repro.simnet.topology import build_rack
+from repro.workload.region import REGION_A, build_region_workloads
+
+DRAIN = units.SERVER_LINK_RATE * units.ANALYSIS_INTERVAL
+
+
+def test_bench_fluid_buffer_model(benchmark):
+    """One 92-server, 1850-bucket fluid run (the per-rack-run kernel)."""
+    model = FluidBufferModel(servers=92)
+    rng = np.random.default_rng(0)
+    demand = rng.exponential(0.15 * DRAIN, (1850, 92))
+    demand[rng.random((1850, 92)) < 0.02] = 2.0 * DRAIN
+    persistence = np.full(92, 0.05)
+
+    result = benchmark(model.run, demand, persistence)
+    assert result.total_delivered > 0
+
+
+def test_bench_rack_run_synthesis(benchmark):
+    """Full synthesis of one SyncMillisampler rack run (demand + fluid
+    model + sketch noise + assembly)."""
+    rng = np.random.default_rng(1)
+    workload = build_region_workloads(REGION_A, racks=1, rng=rng)[0]
+    synthesizer = RackRunSynthesizer()
+
+    def run():
+        return synthesizer.synthesize(workload, hour=6, rng=np.random.default_rng(2))
+
+    sync_run = benchmark(run)
+    assert sync_run.servers == 92
+
+
+def test_bench_region_dataset_generation(benchmark):
+    """Generating and reducing a miniature region-day."""
+    config = FleetConfig(racks_per_region=4, runs_per_rack=2, seed=3)
+
+    def run():
+        return generate_region_dataset(REGION_A, config)
+
+    dataset = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(dataset.summaries) == 8
+
+
+def test_bench_packet_sim_tcp_transfer(benchmark):
+    """Packet-level simulator throughput: a 1 MB DCTCP transfer."""
+
+    def run():
+        rack = build_rack(servers=2)
+        sender, _ = open_connection(rack.hosts[0], rack.hosts[1], DctcpControl(mss=1448))
+        sender.send(1_000_000)
+        rack.engine.run_until(1.0)
+        return sender
+
+    sender = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert sender.done

@@ -1,0 +1,12 @@
+"""Benchmark — Table 1: dataset summary accounting for both regions.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import table1_dataset as experiment
+
+
+def test_bench_table1(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("RegA_runs") > 0

@@ -1,0 +1,12 @@
+"""Benchmark — Table 2: per-class burst/contended/lossy accounting.
+
+Regenerates the paper artifact on the cached benchmark dataset and
+reports how long the analysis takes.
+"""
+
+from repro.experiments import table2_burst_summary as experiment
+
+
+def test_bench_table2(benchmark, bench_ctx):
+    result = benchmark(experiment.run, bench_ctx)
+    assert result.metric("loss_inversion_ratio") > 1.0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Buffer-sharing ablation: how the dynamic-threshold alpha trades off
+loss against fairness (the Section 9 "buffer sharing algorithms"
+implication).
+
+Replays the same rack workload through the fluid buffer model with
+alpha in {0.25, 0.5, 1, 2, 4}, separately for a low-contention
+(spread) and a high-contention (ML co-located) rack, and reports loss
+per class — quantifying the paper's suggestion that "a relatively
+small set of configurations — say one each for low contention and high
+contention regimes — appear sufficient".
+
+Run:  python examples/alpha_tuning_study.py
+"""
+
+import numpy as np
+
+from repro.config import BufferConfig, RackConfig
+from repro.fleet.buffermodel import FluidBufferModel
+from repro.fleet.demand import DemandModel
+from repro.viz.table import render_table
+from repro.workload.region import REGION_A, build_region_workloads
+
+ALPHAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def loss_for_alpha(workload, alpha: float, seeds=range(4)) -> tuple[float, float]:
+    """(loss per mille of offered bytes, p99 queue in KB) for one rack
+    workload under a given alpha."""
+    lost = offered = 0.0
+    occupancies = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        demand_model = DemandModel()
+        demand = demand_model.generate(workload, hour=6, buckets=1500, rng=rng)
+        model = FluidBufferModel(
+            servers=workload.placement.servers,
+            buffer_config=BufferConfig(alpha=alpha),
+        )
+        result = model.run(
+            demand.demand, demand.persistence,
+            demand.initial_multiplier, demand.initial_alpha,
+        )
+        lost += result.dropped.sum()
+        offered += demand.demand.sum()
+        occupancies.append(np.percentile(result.queue_occupancy, 99))
+    return lost / offered * 1000, float(np.mean(occupancies)) / 1024
+
+
+def main() -> None:
+    print(__doc__)
+    rng = np.random.default_rng(3)
+    workloads = build_region_workloads(REGION_A, racks=12, rng=rng)
+    spread = next(w for w in workloads if not w.colocated)
+    colocated = next(w for w in workloads if w.colocated)
+
+    rows = []
+    for alpha in ALPHAS:
+        spread_loss, spread_q = loss_for_alpha(spread, alpha)
+        coloc_loss, coloc_q = loss_for_alpha(colocated, alpha)
+        rows.append(
+            [
+                alpha,
+                f"{spread_loss:.3f}",
+                f"{spread_q:.0f}",
+                f"{coloc_loss:.3f}",
+                f"{coloc_q:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["alpha", "spread loss (‰)", "spread p99 q (KB)",
+             "coloc loss (‰)", "coloc p99 q (KB)"],
+            rows,
+            title="Dynamic-threshold alpha sweep, per rack class",
+        )
+    )
+    print(
+        "\nLarger alpha gives each queue a bigger share — it absorbs the\n"
+        "fresh-sender bursts of low-contention racks, but on a densely\n"
+        "contended rack it lets early queues crowd the pool, making the\n"
+        "per-queue limit *more* variable.  The optimum differs by rack\n"
+        "class, supporting per-class buffer configurations (Section 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Incast study: how fan-in degree drives loss in the shared rack buffer.
+
+Sweeps the number of synchronized senders into one receiver on the
+packet-level simulator (paper-default ToR: 3.6 MB shared quadrant,
+alpha = 1, 120 KB ECN threshold) and reports switch discards, ECN
+marks, retransmissions, and completion time — the "heavy incast"
+problem Section 3 describes, and the mechanism behind Figure 19.
+
+Run:  python examples/incast_loss_study.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.simnet.topology import build_rack
+from repro.viz.table import render_table
+from repro.workload.flows import IncastApp
+
+
+def run_incast(fanin: int, bytes_per_sender: int = 400_000) -> dict:
+    rack = build_rack(servers=fanin + 1, rng=np.random.default_rng(fanin))
+    results = {}
+
+    def record(result):
+        results["finish"] = result.finish_time
+
+    app = IncastApp(
+        senders=rack.hosts[1:],
+        receiver=rack.hosts[0],
+        bytes_per_sender=bytes_per_sender,
+        initial_cwnd_segments=40,
+        segment_bytes=8 * 1024,
+        on_complete=record,
+    )
+    app.start(at_time=0.01)
+    rack.engine.run_until(5.0)
+
+    counters = rack.switch.counters
+    total_retx = sum(sender.retransmissions for sender, _ in app.connections)
+    total_timeouts = sum(sender.timeouts for sender, _ in app.connections)
+    return {
+        "fanin": fanin,
+        "completed": app.result.completed,
+        "discard_kb": counters.discard_bytes / 1024,
+        "ecn_mb": counters.ecn_marked_bytes / units.MB,
+        "retransmissions": total_retx,
+        "timeouts": total_timeouts,
+        "finish_ms": (results.get("finish", float("nan")) - 0.01) * 1e3,
+    }
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for fanin in (2, 4, 8, 16, 32, 64):
+        outcome = run_incast(fanin)
+        rows.append(
+            [
+                outcome["fanin"],
+                outcome["completed"],
+                f"{outcome['finish_ms']:.1f}",
+                f"{outcome['ecn_mb']:.2f}",
+                f"{outcome['discard_kb']:.0f}",
+                outcome["retransmissions"],
+                outcome["timeouts"],
+            ]
+        )
+    print(
+        render_table(
+            ["fan-in", "done", "finish (ms)", "ECN-marked (MB)",
+             "discards (KB)", "retx", "RTOs"],
+            rows,
+            title="Synchronized incast into one 12.5 Gbps server queue",
+        )
+    )
+    print(
+        "\nDCTCP absorbs small fan-in via ECN; past the point where the\n"
+        "aggregate initial windows exceed the dynamic-threshold share,\n"
+        "the buffer overflows before feedback lands — packet loss and\n"
+        "retransmission timeouts, exactly the regime Figure 19 maps."
+    )
+
+
+if __name__ == "__main__":
+    main()

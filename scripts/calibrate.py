@@ -1,0 +1,26 @@
+"""Calibration readout against the paper's headline statistics.
+
+Thin wrapper over :mod:`repro.fleet.calibration` (which the test suite
+also enforces).  Run after touching the workload catalog, demand
+model, or fluid buffer model:
+
+    python scripts/calibrate.py [racks]
+"""
+
+import sys
+
+from repro.fleet.calibration import check
+
+
+def main(racks: int = 20) -> int:
+    report = check(racks=racks)
+    print(report.render())
+    if report.ok:
+        print("all targets in band")
+        return 0
+    print(f"OUT OF BAND: {', '.join(report.failures)}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 20))

@@ -1,0 +1,67 @@
+"""Reproduction of "A Microscopic View of Bursts, Buffer Contention, and
+Loss in Data Centers" (Ghabashneh et al., IMC 2022).
+
+Public API overview
+===================
+
+``repro.core``
+    Millisampler and SyncMillisampler: the host-side sampler state
+    machine, the 128-bit connection sketch, run storage/scheduling, and
+    rack-synchronous collection with alignment.
+
+``repro.simnet``
+    Packet-level discrete-event substrate: hosts with tc-like tap
+    chains, a shared-memory ToR with Choudhury-Hahne dynamic-threshold
+    buffering, static-threshold ECN, multicast, a fabric layer for
+    multi-rack pods, and DCTCP/Cubic TCP.
+
+``repro.workload``
+    Service catalog, task placement policies (including the ML
+    co-location that produces RegA's bimodal contention), flow/burst
+    generators, and diurnal load profiles.
+
+``repro.fleet``
+    Region-scale fluid model that synthesizes SyncMillisampler datasets
+    (the substitute for Meta's production data; see DESIGN.md), plus
+    alternative buffer-sharing policies and the calibration harness.
+
+``repro.analysis``
+    The paper's analysis pipeline: burst detection, contention,
+    loss association, rack classification, diurnal statistics, and
+    placement metrics.
+
+``repro.io``
+    Millisampler-dataset reader/writer (works with the released data).
+
+``repro.experiments``
+    One module per paper table/figure plus extension experiments;
+    driven by the ``millisampler-repro`` CLI.
+"""
+
+from . import units
+from .config import BufferConfig, FleetConfig, RackConfig, SamplerConfig
+from .core import (
+    FlowSketch,
+    Millisampler,
+    MillisamplerRun,
+    RunMetadata,
+    SyncMillisampler,
+    SyncRun,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "BufferConfig",
+    "FleetConfig",
+    "RackConfig",
+    "SamplerConfig",
+    "FlowSketch",
+    "Millisampler",
+    "MillisamplerRun",
+    "RunMetadata",
+    "SyncMillisampler",
+    "SyncRun",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""The paper's analysis pipeline (Sections 5-8).
+
+Operates on :class:`~repro.core.run.SyncRun` objects regardless of
+whether they came from the packet-level simulator or the fleet fluid
+model.  The heavy lifting happens once per run in
+:func:`~repro.analysis.summary.summarize_run`; experiments then
+aggregate lightweight :class:`~repro.analysis.summary.RunSummary`
+records — mirroring how a production pipeline reduces raw samples
+before fleet-wide analysis.
+"""
+
+from .stats import cdf, percentile, box_stats, BoxStats
+from .bursts import (
+    Burst,
+    annotate_contention,
+    burst_frequency,
+    detect_bursts,
+    detect_run_bursts,
+)
+from .contention import (
+    contention_series,
+    ContentionStats,
+    contention_stats,
+    buffer_share,
+    buffer_share_drop,
+)
+from .summary import RunSummary, ServerRunStats, summarize_run
+from .racks import RackClass, RackProfile, classify_racks, rack_profiles
+from .tasks import task_diversity, dominant_share_by_rack
+from .diurnal import hourly_box_stats, hourly_means
+
+__all__ = [
+    "cdf",
+    "percentile",
+    "box_stats",
+    "BoxStats",
+    "Burst",
+    "annotate_contention",
+    "detect_bursts",
+    "detect_run_bursts",
+    "burst_frequency",
+    "contention_series",
+    "ContentionStats",
+    "contention_stats",
+    "buffer_share",
+    "buffer_share_drop",
+    "RunSummary",
+    "ServerRunStats",
+    "summarize_run",
+    "RackClass",
+    "RackProfile",
+    "classify_racks",
+    "rack_profiles",
+    "task_diversity",
+    "dominant_share_by_rack",
+    "hourly_box_stats",
+    "hourly_means",
+]

@@ -1,0 +1,160 @@
+"""Burst detection and per-burst properties (Sections 5, 6, 8).
+
+A burst is "any consecutive set of one or more sample data points that
+exceeds 50% of line rate" on ingress.  Each burst is annotated with the
+properties the joint analysis needs: length, volume, average
+connection count, the maximum contention over its lifetime, whether it
+was contended at all, and whether it was lossy (retransmissions
+observed within an RTT after the loss — in practice, retransmitted
+bytes arriving during the burst or in the following buckets,
+Section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from ..core.run import MillisamplerRun, SyncRun
+from ..errors import AnalysisError
+
+
+@dataclass
+class Burst:
+    """One detected burst on one server."""
+
+    server: int  # index within the SyncRun
+    start: int  # first bucket of the burst
+    length: int  # buckets
+    volume: float  # ingress bytes
+    avg_connections: float
+    retx_bytes: float = 0.0
+    max_contention: int = 0
+    lossy: bool = False
+    #: Contention at the (approximate) time of the burst's first loss:
+    #: the bucket where retransmitted bytes first appear, minus the
+    #: repair lag.  The paper's alternate Section 8 methodology; -1
+    #: when the burst is not lossy.
+    first_loss_contention: int = -1
+
+    @property
+    def end(self) -> int:
+        """One past the last bucket."""
+        return self.start + self.length
+
+    @property
+    def contended(self) -> bool:
+        """The burst saw at least one other simultaneously bursty server
+        at some point in its lifetime (Section 6)."""
+        return self.max_contention >= 2
+
+    def length_ms(self, sampling_interval: float = units.ANALYSIS_INTERVAL) -> float:
+        return self.length * sampling_interval / units.MSEC
+
+
+def _mask_segments(mask: np.ndarray) -> list[tuple[int, int]]:
+    """(start, end) pairs of consecutive-True segments."""
+    if mask.size == 0:
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    return [(int(changes[i]), int(changes[i + 1])) for i in range(0, len(changes), 2)]
+
+
+def detect_bursts(
+    run: MillisamplerRun,
+    threshold: float = units.BURST_UTILIZATION_THRESHOLD,
+    loss_lag_buckets: int = 2,
+    server: int = 0,
+) -> list[Burst]:
+    """Detect bursts in one server's run and annotate loss.
+
+    ``loss_lag_buckets`` extends the retransmission-observation window
+    past the end of the burst: retransmissions repair a loss roughly an
+    RTT after it happened, so a burst's losses surface slightly later
+    (Section 4.6: "our analysis must look for retransmissions that
+    occur an RTT later").
+    """
+    if loss_lag_buckets < 0:
+        raise AnalysisError("loss lag cannot be negative")
+    mask = run.bursty_mask(threshold)
+    bursts: list[Burst] = []
+    for start, end in _mask_segments(mask):
+        window_end = min(end + loss_lag_buckets, run.buckets)
+        retx = float(run.in_retx_bytes[start:window_end].sum())
+        bursts.append(
+            Burst(
+                server=server,
+                start=start,
+                length=end - start,
+                volume=float(run.in_bytes[start:end].sum()),
+                avg_connections=float(run.conn_estimate[start:end].mean()),
+                retx_bytes=retx,
+                lossy=retx > 0,
+            )
+        )
+    return bursts
+
+
+def annotate_contention(
+    burst: Burst,
+    run: MillisamplerRun,
+    contention: np.ndarray,
+    loss_lag_buckets: int = 2,
+) -> None:
+    """Attach both of Section 8's contention views to a burst.
+
+    The primary methodology takes the *maximum* contention over the
+    burst's lifetime; the alternate associates a lossy burst with the
+    contention at its *first loss* — approximated as the first bucket
+    with retransmitted bytes, shifted back by the repair lag ("bursts
+    tend to see slightly lower contention levels at the time of their
+    first loss", Section 8).
+    """
+    burst.max_contention = int(contention[burst.start : burst.end].max())
+    if not burst.lossy:
+        burst.first_loss_contention = -1
+        return
+    window_end = min(burst.end + loss_lag_buckets, run.buckets)
+    retx_window = run.in_retx_bytes[burst.start : window_end]
+    first_retx = burst.start + int(np.argmax(retx_window > 0))
+    loss_bucket = max(first_retx - loss_lag_buckets, burst.start)
+    loss_bucket = min(loss_bucket, burst.end - 1)
+    burst.first_loss_contention = int(contention[loss_bucket])
+
+
+def detect_run_bursts(
+    sync_run: SyncRun,
+    threshold: float = units.BURST_UTILIZATION_THRESHOLD,
+    loss_lag_buckets: int = 2,
+) -> list[Burst]:
+    """Detect bursts across every server of a rack run and annotate each
+    with the maximum contention over its lifetime (Section 8
+    methodology: "we consider the contention level at each sample point
+    of the burst, and take the maximum")."""
+    contention = sync_run.contention_series(threshold)
+    bursts: list[Burst] = []
+    for index, run in enumerate(sync_run.runs):
+        for burst in detect_bursts(run, threshold, loss_lag_buckets, server=index):
+            annotate_contention(burst, run, contention, loss_lag_buckets)
+            bursts.append(burst)
+    return bursts
+
+
+def burst_frequency(bursts: list[Burst], duration_s: float) -> float:
+    """Bursts per second over a run (Figure 6's metric)."""
+    if duration_s <= 0:
+        raise AnalysisError("duration must be positive")
+    return len(bursts) / duration_s
+
+
+def bursty_fraction_of_bytes(run: MillisamplerRun, bursts: list[Burst]) -> float:
+    """Fraction of a run's ingress bytes carried inside bursts
+    (Section 5: 49.7% fleet-wide)."""
+    total = float(run.in_bytes.sum())
+    if total == 0:
+        return 0.0
+    in_bursts = sum(burst.volume for burst in bursts)
+    return in_bursts / total

@@ -1,0 +1,93 @@
+"""Contention metrics (Sections 5, 7).
+
+Contention is "the number of servers that are simultaneously bursty
+during each 1 ms data point of the run".  This module computes the
+per-run contention series and the statistics the paper reports: the
+average, the minimum over active samples, the 90th percentile, and the
+dynamic-threshold buffer share implied by each (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from ..config import BufferConfig
+from ..core.run import SyncRun
+from ..errors import AnalysisError
+
+
+def contention_series(
+    sync_run: SyncRun, threshold: float = units.BURST_UTILIZATION_THRESHOLD
+) -> np.ndarray:
+    """Per-bucket contention for a rack run."""
+    return sync_run.contention_series(threshold)
+
+
+@dataclass(frozen=True)
+class ContentionStats:
+    """Per-run contention summary."""
+
+    mean: float  # average over every sample of the run
+    min_active: float  # minimum over samples with >= 1 bursty server
+    p90: float  # 90th percentile over every sample
+    max: float
+    frac_zero: float  # fraction of samples with no bursty server
+
+    @property
+    def has_activity(self) -> bool:
+        """Whether the run had any bursty sample at all.  Section 7.3
+        excludes the 6.2% of runs whose p90 contention is zero."""
+        return self.p90 > 0
+
+
+def contention_stats(series: np.ndarray) -> ContentionStats:
+    """Summarize one run's contention series."""
+    array = np.asarray(series, dtype=np.float64)
+    if array.size == 0:
+        raise AnalysisError("empty contention series")
+    active = array[array >= 1]
+    return ContentionStats(
+        mean=float(array.mean()),
+        min_active=float(active.min()) if active.size else 0.0,
+        p90=float(np.percentile(array, 90)),
+        max=float(array.max()),
+        frac_zero=float((array == 0).mean()),
+    )
+
+
+def buffer_share(contention: float, config: BufferConfig | None = None) -> float:
+    """Fraction of the shared buffer one queue may hold at a contention
+    level, from the dynamic-threshold fixed point (Section 2.1.2):
+
+        T / B = alpha / (1 + alpha * S)
+
+    ``contention`` is S, the number of simultaneously bursty servers;
+    S = 0 or 1 both mean an uncontended queue (S is floored at 1, since
+    the bursting queue itself is active).
+    """
+    config = config or BufferConfig()
+    if contention < 0:
+        raise AnalysisError("contention cannot be negative")
+    active = max(1.0, float(contention))
+    return config.alpha / (1.0 + config.alpha * active)
+
+
+def buffer_share_drop(
+    min_contention: float, p90_contention: float, config: BufferConfig | None = None
+) -> float:
+    """Relative drop in per-queue buffer share between a run's calmest
+    and busiest (p90) moments — Figure 15(b)'s metric.
+
+    A run whose contention moves from 1 to 2 sees its share fall from
+    B/2 to B/3: a 33.3% drop from peak.
+    """
+    if p90_contention < min_contention:
+        raise AnalysisError("p90 contention cannot be below the minimum")
+    best = buffer_share(min_contention, config)
+    worst = buffer_share(p90_contention, config)
+    if best == 0:
+        return 0.0
+    return (best - worst) / best

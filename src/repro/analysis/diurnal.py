@@ -1,0 +1,60 @@
+"""Diurnal aggregation (Figures 12 and 13).
+
+Groups per-run contention by hour of day, producing the hourly box
+statistics of Figure 13 and the per-rack across-day mean/min/max bands
+of Figure 12.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .stats import BoxStats
+from .summary import RunSummary
+
+
+def hourly_box_stats(
+    summaries: list[RunSummary], racks: set[str] | None = None
+) -> dict[int, BoxStats]:
+    """Box statistics of per-run average contention, per hour.
+
+    ``racks`` restricts to a rack group (e.g. RegA-High for Figure 13
+    top); hours with no runs are absent from the result.
+    """
+    grouped: dict[int, list[float]] = defaultdict(list)
+    for summary in summaries:
+        if racks is not None and summary.rack not in racks:
+            continue
+        grouped[summary.hour].append(summary.contention.mean)
+    if not grouped:
+        raise AnalysisError("no runs matched the rack filter")
+    return {hour: BoxStats.from_values(values) for hour, values in sorted(grouped.items())}
+
+
+def hourly_means(
+    summaries: list[RunSummary], racks: set[str] | None = None
+) -> dict[int, float]:
+    """Mean per-run average contention, per hour."""
+    return {
+        hour: stats.mean for hour, stats in hourly_box_stats(summaries, racks).items()
+    }
+
+
+def peak_window_increase(
+    means: dict[int, float], window: tuple[int, int] = (4, 10)
+) -> float:
+    """Relative contention increase inside an hour window versus outside
+    (Section 7.2: 27.6% between hours 4 and 10 for RegA-High)."""
+    if not means:
+        raise AnalysisError("no hourly means")
+    inside = [value for hour, value in means.items() if window[0] <= hour <= window[1]]
+    outside = [value for hour, value in means.items() if not window[0] <= hour <= window[1]]
+    if not inside or not outside:
+        raise AnalysisError("window leaves one side empty")
+    outside_mean = float(np.mean(outside))
+    if outside_mean == 0:
+        return 0.0
+    return (float(np.mean(inside)) - outside_mean) / outside_mean

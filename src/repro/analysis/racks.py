@@ -1,0 +1,124 @@
+"""Rack-level aggregation and classification (Section 7.1, 8.1).
+
+The paper splits RegA's bimodal distribution into **RegA-High** (the
+~20% of racks with busy-hour average contention above ~7.5, all dense
+ML placements) and **RegA-Typical** (the rest).  Classification here
+uses a contention threshold on the busy-hour (or whole-day) per-rack
+average, with the paper's gap — the distribution is bimodal, so any
+threshold inside the gap yields the same split.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .summary import RunSummary
+
+
+class RackClass(enum.Enum):
+    """The paper's two RegA rack classes (Section 7.1)."""
+
+    TYPICAL = "RegA-Typical"
+    HIGH = "RegA-High"
+
+
+#: Default split point: inside the bimodal gap (paper: 75% of racks
+#: below 2.2, top 20% above 7.5 during the busy hour).
+DEFAULT_CONTENTION_SPLIT = 4.5
+
+
+@dataclass
+class RackProfile:
+    """Per-rack aggregates across its runs."""
+
+    rack: str
+    region: str
+    mean_contention: float
+    min_contention: float  # min over runs of per-run average
+    max_contention: float  # max over runs of per-run average
+    runs: int
+    distinct_tasks: int
+    dominant_share: float
+    colocated: bool
+    total_discard_bytes: float
+    total_ingress_bytes: float
+
+    @property
+    def contention_range(self) -> float:
+        return self.max_contention - self.min_contention
+
+    @property
+    def normalized_discards(self) -> float:
+        """Discarded bytes per ingress byte (Figure 17's metric)."""
+        if self.total_ingress_bytes == 0:
+            return 0.0
+        return self.total_discard_bytes / self.total_ingress_bytes
+
+
+def rack_profiles(
+    summaries: list[RunSummary], hours: set[int] | None = None
+) -> list[RackProfile]:
+    """Aggregate run summaries per rack, optionally restricted to hours
+    (e.g. the busy hour for Figure 9)."""
+    grouped: dict[str, list[RunSummary]] = defaultdict(list)
+    for summary in summaries:
+        if hours is not None and summary.hour not in hours:
+            continue
+        grouped[summary.rack].append(summary)
+    if not grouped:
+        raise AnalysisError("no runs matched the requested hours")
+
+    profiles: list[RackProfile] = []
+    for rack, runs in sorted(grouped.items()):
+        means = np.array([run.contention.mean for run in runs])
+        first = runs[0]
+        profiles.append(
+            RackProfile(
+                rack=rack,
+                region=first.region,
+                mean_contention=float(means.mean()),
+                min_contention=float(means.min()),
+                max_contention=float(means.max()),
+                runs=len(runs),
+                distinct_tasks=int(first.extras.get("distinct_tasks", 0)),
+                dominant_share=float(first.extras.get("dominant_share", 0.0)),
+                colocated=bool(first.extras.get("colocated", False)),
+                total_discard_bytes=float(
+                    sum(run.switch_discard_bytes for run in runs)
+                ),
+                total_ingress_bytes=float(
+                    sum(run.switch_ingress_bytes for run in runs)
+                ),
+            )
+        )
+    return profiles
+
+
+def classify_racks(
+    profiles: list[RackProfile],
+    split: float = DEFAULT_CONTENTION_SPLIT,
+) -> dict[RackClass, list[RackProfile]]:
+    """Split rack profiles into Typical/High by mean contention."""
+    if not profiles:
+        raise AnalysisError("no rack profiles to classify")
+    result: dict[RackClass, list[RackProfile]] = {
+        RackClass.TYPICAL: [],
+        RackClass.HIGH: [],
+    }
+    for profile in profiles:
+        bucket = RackClass.HIGH if profile.mean_contention >= split else RackClass.TYPICAL
+        result[bucket].append(profile)
+    return result
+
+
+def classify_run(
+    summary: RunSummary,
+    high_racks: set[str],
+) -> RackClass:
+    """Class of the rack a run belongs to, given the rack-level split."""
+    return RackClass.HIGH if summary.rack in high_racks else RackClass.TYPICAL

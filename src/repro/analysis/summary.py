@@ -1,0 +1,129 @@
+"""Per-run reduction: everything the fleet-scale figures need, without
+keeping raw sample series in memory.
+
+A full day of the paper's data is 8.16 billion samples; the analyses
+all operate on per-run aggregates (burst records, contention
+statistics, utilization summaries).  :func:`summarize_run` computes
+those once per :class:`~repro.core.run.SyncRun`, letting the dataset
+generator discard the raw series immediately — the same
+reduce-then-aggregate shape a production pipeline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import units
+from ..core.run import SyncRun
+from ..errors import AnalysisError
+from .bursts import Burst, annotate_contention, detect_bursts
+from .contention import ContentionStats, contention_stats
+
+
+@dataclass
+class ServerRunStats:
+    """Per-server-run aggregates (the unit of Figures 6 and 8)."""
+
+    server: int
+    task: str
+    bursty: bool  # had at least one burst
+    avg_utilization: float
+    utilization_in_bursts: float  # NaN when no bursts
+    utilization_outside_bursts: float
+    bursts_per_second: float
+    conns_inside: float  # mean connection estimate inside bursts (NaN if none)
+    conns_outside: float
+    total_in_bytes: float
+    in_burst_bytes: float
+
+
+@dataclass
+class RunSummary:
+    """Everything the experiments keep about one rack run."""
+
+    rack: str
+    region: str
+    hour: int
+    servers: int
+    buckets: int
+    sampling_interval: float
+    contention: ContentionStats
+    bursts: list[Burst]
+    server_stats: list[ServerRunStats]
+    switch_discard_bytes: float
+    switch_ingress_bytes: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.buckets * self.sampling_interval
+
+    @property
+    def total_in_bytes(self) -> float:
+        return sum(stat.total_in_bytes for stat in self.server_stats)
+
+    def bursty_server_runs(self) -> int:
+        return sum(1 for stat in self.server_stats if stat.bursty)
+
+
+def summarize_run(
+    sync_run: SyncRun,
+    threshold: float = units.BURST_UTILIZATION_THRESHOLD,
+    loss_lag_buckets: int = 2,
+) -> RunSummary:
+    """Reduce one rack run to its :class:`RunSummary`."""
+    if sync_run.buckets == 0:
+        raise AnalysisError("cannot summarize an empty run")
+    contention = sync_run.contention_series(threshold)
+    stats = contention_stats(contention)
+    duration = sync_run.duration
+
+    all_bursts: list[Burst] = []
+    server_stats: list[ServerRunStats] = []
+    for index, run in enumerate(sync_run.runs):
+        bursts = detect_bursts(run, threshold, loss_lag_buckets, server=index)
+        for burst in bursts:
+            annotate_contention(burst, run, contention, loss_lag_buckets)
+        all_bursts.extend(bursts)
+
+        utilization = run.ingress_utilization()
+        mask = run.bursty_mask(threshold)
+        inside = utilization[mask]
+        outside = utilization[~mask]
+        conns = run.conn_estimate
+        total_in = float(run.in_bytes.sum())
+        in_burst = float(run.in_bytes[mask].sum())
+        server_stats.append(
+            ServerRunStats(
+                server=index,
+                task=run.meta.task,
+                bursty=bool(mask.any()),
+                avg_utilization=float(utilization.mean()),
+                utilization_in_bursts=float(inside.mean()) if inside.size else float("nan"),
+                utilization_outside_bursts=(
+                    float(outside.mean()) if outside.size else float("nan")
+                ),
+                bursts_per_second=len(bursts) / duration,
+                conns_inside=float(conns[mask].mean()) if mask.any() else float("nan"),
+                conns_outside=float(conns[~mask].mean()) if (~mask).any() else float("nan"),
+                total_in_bytes=total_in,
+                in_burst_bytes=in_burst,
+            )
+        )
+
+    return RunSummary(
+        rack=sync_run.rack,
+        region=sync_run.region,
+        hour=sync_run.hour,
+        servers=sync_run.servers,
+        buckets=sync_run.buckets,
+        sampling_interval=sync_run.sampling_interval,
+        contention=stats,
+        bursts=all_bursts,
+        server_stats=server_stats,
+        switch_discard_bytes=sync_run.switch_discard_bytes,
+        switch_ingress_bytes=sync_run.switch_ingress_bytes,
+        extras=dict(sync_run.extras),
+    )

@@ -1,0 +1,37 @@
+"""Task-placement analysis (Figures 10 and 11).
+
+Works off the placement facts each run carries in ``extras`` —
+host-side collection travels with service context (Section 1), so the
+analysis pipeline sees task identities without a side channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .racks import RackProfile
+
+
+def task_diversity(profiles: list[RackProfile]) -> np.ndarray:
+    """Distinct task counts across racks (Figure 10's distribution)."""
+    if not profiles:
+        raise AnalysisError("no rack profiles")
+    return np.array([profile.distinct_tasks for profile in profiles], dtype=np.float64)
+
+
+def dominant_share_by_rack(
+    profiles: list[RackProfile],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dominant-task share per rack, sorted by rack contention.
+
+    Returns (rack ids 0..N-1 ordered by mean contention, dominant task
+    share as a percentage) — exactly Figure 11's axes, where the left
+    of the x-axis is the least contended rack.
+    """
+    if not profiles:
+        raise AnalysisError("no rack profiles")
+    ordered = sorted(profiles, key=lambda profile: profile.mean_contention)
+    shares = np.array([profile.dominant_share * 100.0 for profile in ordered])
+    ids = np.arange(len(ordered), dtype=np.int64)
+    return ids, shares

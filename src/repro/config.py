@@ -1,0 +1,139 @@
+"""Configuration dataclasses shared by the simulator, fleet model, and
+analysis pipeline.
+
+Defaults reproduce the rack profile the paper studies (Section 3): a
+50 Gbps NIC shared by 4 servers (12.5 Gbps per server queue), a 16 MB
+shared ToR buffer in four 4 MB quadrants with ~3.6 MB dynamically shared
+per quadrant, dynamic-threshold alpha of 1, and a 120 KB static ECN
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import units
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Shared-memory ToR buffer configuration (Section 2.1 and 3)."""
+
+    #: Total dynamically shared bytes in the quadrant serving the
+    #: studied server queues.
+    shared_bytes: float = units.SHARED_QUADRANT_BYTES
+    #: Dedicated (reserved) bytes available to each queue before it
+    #: draws from the shared pool.
+    dedicated_bytes_per_queue: float = units.QUADRANT_BYTES - units.SHARED_QUADRANT_BYTES
+    #: Dynamic-threshold alpha: T(t) = alpha * (B - Q(t)).
+    alpha: float = units.DEFAULT_ALPHA
+    #: Static ECN marking threshold per queue.
+    ecn_threshold_bytes: float = units.ECN_THRESHOLD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.shared_bytes <= 0:
+            raise ConfigError("shared buffer must be positive")
+        if self.alpha <= 0:
+            raise ConfigError("alpha must be positive")
+        if self.dedicated_bytes_per_queue < 0:
+            raise ConfigError("dedicated buffer cannot be negative")
+        if self.ecn_threshold_bytes < 0:
+            raise ConfigError("ECN threshold cannot be negative")
+
+    def saturated_queue_limit(self, active_queues: int) -> float:
+        """Fixed-point per-queue limit when ``active_queues`` queues all
+        exercise the buffer to their permitted limit (Section 2.1.2):
+
+            T = alpha * B / (1 + alpha * S)
+        """
+        if active_queues < 0:
+            raise ConfigError("active queue count cannot be negative")
+        if active_queues == 0:
+            return self.alpha * self.shared_bytes
+        return self.alpha * self.shared_bytes / (1.0 + self.alpha * active_queues)
+
+    def queue_share_fraction(self, active_queues: int) -> float:
+        """:meth:`saturated_queue_limit` as a fraction of the shared buffer
+        (the y-axis of Figure 1)."""
+        return self.saturated_queue_limit(active_queues) / self.shared_bytes
+
+
+@dataclass(frozen=True)
+class RackConfig:
+    """Physical rack profile (Section 3)."""
+
+    servers: int = units.SERVERS_PER_RACK
+    server_link_rate: float = units.SERVER_LINK_RATE
+    uplinks: int = 4
+    uplink_rate: float = units.gbps(100)
+    buffer: BufferConfig = field(default_factory=BufferConfig)
+    rtt: float = units.TYPICAL_RTT
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ConfigError("rack must have at least one server")
+        if self.server_link_rate <= 0:
+            raise ConfigError("server link rate must be positive")
+        if self.uplinks <= 0 or self.uplink_rate <= 0:
+            raise ConfigError("uplinks must exist and have positive rate")
+        if self.rtt <= 0:
+            raise ConfigError("RTT must be positive")
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Millisampler run parameters (Section 4.1)."""
+
+    #: Width of each time bucket, in seconds.
+    sampling_interval: float = units.ANALYSIS_INTERVAL
+    #: Number of buckets per run; fixed at 2000 in production.
+    buckets: int = units.MILLISAMPLER_BUCKETS
+    #: Number of CPU cores (per-CPU counter arrays avoid locking).
+    #: Production hosts average a few dozen cores; the per-CPU maps for
+    #: 26 cores land near the paper's 3.6 MB average footprint.
+    cpus: int = 26
+    #: Whether to estimate active connections with the 128-bit sketch.
+    count_flows: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sampling_interval <= 0:
+            raise ConfigError("sampling interval must be positive")
+        if self.buckets <= 0:
+            raise ConfigError("bucket count must be positive")
+        if self.cpus <= 0:
+            raise ConfigError("cpu count must be positive")
+
+    @property
+    def duration(self) -> float:
+        """Nominal observation period of one run, in seconds."""
+        return self.sampling_interval * self.buckets
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Scale of the synthetic region-day dataset (Section 5).
+
+    The paper samples 1000 racks per region hourly for a day.  The
+    defaults here are laptop-scale; experiments scale them up or down
+    explicitly.  ``runs_per_rack`` corresponds to the ~10 runs each rack
+    contributes across the day.
+    """
+
+    racks_per_region: int = 200
+    runs_per_rack: int = 10
+    hours: int = 24
+    seed: int = 20221025  # IMC '22 started October 25, 2022.
+
+    def __post_init__(self) -> None:
+        if self.racks_per_region <= 0:
+            raise ConfigError("region must contain racks")
+        if self.runs_per_rack <= 0:
+            raise ConfigError("need at least one run per rack")
+        if not 1 <= self.hours <= 24:
+            raise ConfigError("hours must be within a day")
+
+
+#: The configuration used throughout the paper's analysis.
+PAPER_RACK = RackConfig()
+PAPER_SAMPLER = SamplerConfig()

@@ -1,0 +1,205 @@
+"""Periodic run scheduling with SyncMillisampler priority (Section 4.4).
+
+Each host's user-space agent schedules periodic Millisampler runs.
+SyncMillisampler requests are scheduled "far enough in advance that no
+run will be active", and scheduled sync runs take priority over
+periodic collection.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..errors import SamplerError
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledRun:
+    """A pending run request on one host's schedule."""
+
+    start_time: float
+    #: Lower sorts first at equal start time; sync runs use priority 0,
+    #: periodic runs 1, so sync wins ties.
+    priority: int = 1
+    sync_id: str = ""
+
+    @property
+    def is_sync(self) -> bool:
+        return self.priority == 0
+
+
+class RunScheduler:
+    """A host's run calendar.
+
+    Decides, for each moment, whether a run should start — enforcing
+    that runs never overlap and that sync requests displace conflicting
+    periodic runs.
+    """
+
+    def __init__(self, period: float, run_duration: float, first_start: float = 0.0) -> None:
+        if period <= 0:
+            raise SamplerError("period must be positive")
+        if run_duration <= 0:
+            raise SamplerError("run duration must be positive")
+        if run_duration > period:
+            raise SamplerError("run duration cannot exceed the scheduling period")
+        self.period = period
+        self.run_duration = run_duration
+        self._heap: list[tuple[float, int, int, ScheduledRun]] = []
+        self._tiebreak = itertools.count()
+        self._next_periodic = first_start
+        self._busy_until = float("-inf")
+
+    def request_sync_run(self, start_time: float, sync_id: str, now: float) -> None:
+        """Schedule a SyncMillisampler run.
+
+        The control plane must schedule far enough ahead that no periodic
+        run will be active at ``start_time``; a request inside a window
+        that could already be busy is rejected.
+        """
+        if start_time <= now:
+            raise SamplerError("sync runs must be scheduled in the future")
+        if start_time < self._busy_until:
+            raise SamplerError("sync run conflicts with an active run; schedule further ahead")
+        entry = ScheduledRun(start_time=start_time, priority=0, sync_id=sync_id)
+        heapq.heappush(self._heap, (start_time, 0, next(self._tiebreak), entry))
+
+    def next_run(self, now: float) -> ScheduledRun | None:
+        """The run (if any) that should begin at or before ``now``.
+
+        Periodic runs are generated lazily on their cadence; any
+        periodic run that would overlap a scheduled sync run is skipped
+        (sync has priority).
+        """
+        # Materialize due periodic runs.
+        while self._next_periodic <= now:
+            entry = ScheduledRun(start_time=self._next_periodic, priority=1)
+            heapq.heappush(
+                self._heap, (entry.start_time, entry.priority, next(self._tiebreak), entry)
+            )
+            self._next_periodic += self.period
+
+        while self._heap:
+            start, _priority, _tb, entry = self._heap[0]
+            if start > now:
+                return None
+            heapq.heappop(self._heap)
+            if start < self._busy_until:
+                continue  # displaced by a run already in progress
+            if not entry.is_sync and self._sync_conflict(entry):
+                continue  # periodic run yields to an upcoming sync run
+            self._busy_until = start + self.run_duration
+            return entry
+        return None
+
+    def _sync_conflict(self, periodic: ScheduledRun) -> bool:
+        """Would running ``periodic`` now overlap any scheduled sync run?"""
+        window_end = periodic.start_time + self.run_duration
+        return any(
+            entry.is_sync and entry.start_time < window_end
+            for _s, _p, _t, entry in self._heap
+        )
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def pending_sync_runs(self) -> list[ScheduledRun]:
+        return sorted(entry for _s, _p, _t, entry in self._heap if entry.is_sync)
+
+
+@dataclass(frozen=True)
+class CadenceSpec:
+    """One sampling cadence in the production rotation (Section 4.1:
+    "we schedule runs with three values: 10ms, 1ms, and 100us")."""
+
+    name: str
+    sampling_interval: float
+    period: float
+
+    @property
+    def run_duration(self) -> float:
+        """2000 buckets at this interval."""
+        return self.sampling_interval * 2000
+
+
+#: The production rotation: each cadence runs periodically; observation
+#: windows are 20 s, 2 s, and 0.2 s respectively.
+PRODUCTION_CADENCES = (
+    CadenceSpec("10ms", 10e-3, period=600.0),
+    CadenceSpec("1ms", 1e-3, period=120.0),
+    CadenceSpec("100us", 100e-6, period=60.0),
+)
+
+
+class MultiRateScheduler:
+    """Interleaves periodic runs at several sampling cadences.
+
+    One Millisampler instance records one run at a time, so the
+    schedule must serialize runs across cadences; sync requests (which
+    are always at the 1 ms analysis cadence) still preempt periodic
+    collection.  ``next_run`` reports *which* cadence should record.
+    """
+
+    def __init__(
+        self,
+        cadences: tuple[CadenceSpec, ...] = PRODUCTION_CADENCES,
+        first_start: float = 0.0,
+    ) -> None:
+        if not cadences:
+            raise SamplerError("need at least one cadence")
+        names = [c.name for c in cadences]
+        if len(names) != len(set(names)):
+            raise SamplerError("cadence names must be unique")
+        self.cadences = {c.name: c for c in cadences}
+        #: Stagger cadence phases so they do not all fire at once.
+        self._next_start = {
+            c.name: first_start + index * max(c.run_duration for c in cadences)
+            for index, c in enumerate(cadences)
+        }
+        self._busy_until = float("-inf")
+        self._sync: list[tuple[float, str]] = []
+
+    def request_sync_run(self, start_time: float, sync_id: str, now: float) -> None:
+        if start_time <= now:
+            raise SamplerError("sync runs must be scheduled in the future")
+        if start_time < self._busy_until:
+            raise SamplerError("sync run conflicts with an active run")
+        heapq.heappush(self._sync, (start_time, sync_id))
+
+    def next_run(self, now: float) -> tuple[CadenceSpec | None, str] | None:
+        """(cadence, sync_id) due at ``now``; sync entries return
+        (the 1 ms cadence if configured else None, sync_id)."""
+        if now < self._busy_until:
+            return None
+        # Sync first.
+        while self._sync and self._sync[0][0] <= now:
+            start, sync_id = heapq.heappop(self._sync)
+            cadence = self.cadences.get("1ms")
+            duration = cadence.run_duration if cadence else 2.0
+            self._busy_until = now + duration
+            return cadence, sync_id
+        # Periodic cadences, earliest due first.
+        due = [
+            (start, name)
+            for name, start in self._next_start.items()
+            if start <= now
+        ]
+        if not due:
+            return None
+        _start, name = min(due)
+        cadence = self.cadences[name]
+        # Yield to an upcoming sync run rather than overlap it.
+        window_end = now + cadence.run_duration
+        if any(sync_start < window_end for sync_start, _ in self._sync):
+            self._next_start[name] = now + cadence.period
+            return None
+        self._next_start[name] = now + cadence.period
+        self._busy_until = window_end
+        return cadence, ""
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until

@@ -1,0 +1,102 @@
+"""Host-local run storage (Section 4.1-4.2).
+
+User code "stores this data in the local disk to be available on
+demand"; compressed runs are retained "for about a week, typically a
+few hundred megabytes", enabling diagnostic analysis of atypical
+events.  This model keeps compressed blobs keyed by start time with
+week retention and on-demand decompression, and can optionally be
+backed by a directory on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from .. import units
+from ..errors import StorageError
+from .run import MillisamplerRun
+
+#: Production retention: about a week.
+DEFAULT_RETENTION = 7 * units.DAY
+
+
+class HostRunStore:
+    """Compressed, retention-bounded store of one host's runs."""
+
+    def __init__(
+        self,
+        host: str,
+        retention: float = DEFAULT_RETENTION,
+        directory: str | None = None,
+    ) -> None:
+        if retention <= 0:
+            raise StorageError("retention must be positive")
+        self.host = host
+        self.retention = retention
+        self.directory = directory
+        #: start_time -> compressed blob, insertion-ordered (monotonic time).
+        self._blobs: OrderedDict[float, bytes] = OrderedDict()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def store(self, run: MillisamplerRun) -> None:
+        """Compress and retain a completed run."""
+        if run.meta.host != self.host:
+            raise StorageError(
+                f"run from host {run.meta.host!r} offered to store for {self.host!r}"
+            )
+        start = run.meta.start_time
+        blob = run.to_compressed()
+        self._blobs[start] = blob
+        if self.directory is not None:
+            path = self._path_for(start)
+            with open(path, "wb") as handle:
+                handle.write(blob)
+        self.prune(now=start)
+
+    def load(self, start_time: float) -> MillisamplerRun:
+        """Decompress and return the run that started at ``start_time``."""
+        blob = self._blobs.get(start_time)
+        if blob is None and self.directory is not None:
+            path = self._path_for(start_time)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except FileNotFoundError:
+                blob = None
+        if blob is None:
+            raise StorageError(f"no run starting at {start_time} on host {self.host}")
+        return MillisamplerRun.from_compressed(blob)
+
+    def prune(self, now: float) -> int:
+        """Drop runs older than the retention window; returns count dropped."""
+        cutoff = now - self.retention
+        expired = [start for start in self._blobs if start < cutoff]
+        for start in expired:
+            del self._blobs[start]
+            if self.directory is not None:
+                try:
+                    os.remove(self._path_for(start))
+                except FileNotFoundError:
+                    pass
+        return len(expired)
+
+    def start_times(self) -> list[float]:
+        return sorted(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __contains__(self, start_time: float) -> bool:
+        return start_time in self._blobs
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total compressed footprint currently retained."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def _path_for(self, start_time: float) -> str:
+        if self.directory is None:
+            raise StorageError("store is memory-only")
+        return os.path.join(self.directory, f"{self.host}_{start_time:.6f}.msrun")

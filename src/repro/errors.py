@@ -1,0 +1,27 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or combination."""
+
+
+class SamplerError(ReproError):
+    """Millisampler lifecycle misuse (e.g. enabling an unattached filter)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator invariant violation."""
+
+
+class AnalysisError(ReproError):
+    """Analysis-pipeline input did not satisfy preconditions."""
+
+
+class StorageError(ReproError):
+    """Host-local run storage failure (corrupt record, missing run)."""

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment consumes an :class:`~repro.experiments.context.ExperimentContext`
+(which generates and caches the synthetic region datasets) and returns
+an :class:`~repro.experiments.base.ExperimentResult` carrying the
+figure's data series, tables, headline metrics, and an ASCII rendering.
+
+Run everything from the command line::
+
+    millisampler-repro list
+    millisampler-repro run fig9 table2 --racks 100
+    millisampler-repro run all --out results/
+"""
+
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentContext",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

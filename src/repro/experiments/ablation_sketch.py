@@ -1,0 +1,108 @@
+"""Ablation: how much does the 128-bit sketch distort the connection
+analysis?
+
+Section 4.2 accepts the sketch's coarseness: "more than the actual
+number of connections, the qualitative variation between a few
+connections to dozens or hundreds of connections has been helpful".
+This ablation quantifies that claim for the analyses that consume
+connection counts (Figures 8 and 19): estimator bias/error across the
+operating range, and whether Figure 19's connection-count buckets are
+preserved under sketch noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sketch import SATURATION_ESTIMATE, FlowSketch
+from ..experiments.fig19_incast_loss import CONN_EDGES
+from ..fleet.rackrun import sketch_estimates
+from ..viz.ascii import ascii_plot
+from .base import ExperimentResult, ResultTable
+from .context import ExperimentContext
+
+TRUE_COUNTS = (1, 3, 6, 12, 25, 50, 100, 200, 400, 800)
+TRIALS = 400
+
+
+def _real_sketch_estimates(true_count: int, trials: int, rng) -> np.ndarray:
+    """Estimates from the actual 128-bit FlowSketch with random keys."""
+    estimates = np.empty(trials)
+    for trial in range(trials):
+        sketch = FlowSketch()
+        for key in rng.integers(0, 2**62, size=true_count):
+            sketch.observe(int(key))
+        estimates[trial] = sketch.estimate()
+    return estimates
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    rng = np.random.default_rng(2)
+    rows = []
+    means = []
+    rel_errors = []
+    bucket_agreement = []
+    model_gap = []
+    for true_count in TRUE_COUNTS:
+        estimates = _real_sketch_estimates(true_count, TRIALS, rng)
+        model = sketch_estimates(np.full(4000, float(true_count)), rng)
+        mean = float(estimates.mean())
+        rel_error = float(np.abs(estimates - true_count).mean() / true_count)
+        means.append(mean)
+        rel_errors.append(rel_error)
+        model_gap.append(abs(float(model.mean()) - mean) / max(mean, 1e-9))
+        # Does the estimate land in the same Figure 19 bucket as the truth?
+        true_bucket = int(np.digitize(true_count, CONN_EDGES))
+        est_buckets = np.digitize(estimates, CONN_EDGES)
+        agreement = float((est_buckets == true_bucket).mean())
+        bucket_agreement.append(agreement)
+        rows.append(
+            [true_count, f"{mean:.1f}", f"{rel_error * 100:.1f}%",
+             f"{agreement * 100:.0f}%", f"{model_gap[-1] * 100:.1f}%"]
+        )
+
+    counts = np.array(TRUE_COUNTS, dtype=float)
+    metrics = {
+        "rel_error_at_12": rel_errors[TRUE_COUNTS.index(12)],
+        "rel_error_at_100": rel_errors[TRUE_COUNTS.index(100)],
+        "bucket_agreement_at_50": bucket_agreement[TRUE_COUNTS.index(50)],
+        "saturation_estimate": float(SATURATION_ESTIMATE),
+        "mean_estimate_at_800": means[TRUE_COUNTS.index(800)],
+        "max_fleet_model_gap": float(max(model_gap)),
+    }
+    table = ResultTable(
+        title="128-bit sketch estimator accuracy (real sketch, random keys)",
+        headers=["true connections", "mean estimate", "mean |rel error|",
+                 "same Fig-19 bucket", "fleet-model mean gap"],
+        rows=rows,
+    )
+    rendering = ascii_plot(
+        np.log10(counts),
+        {"mean estimate": np.log10(np.maximum(means, 1e-9)),
+         "truth": np.log10(counts)},
+        x_label="log10(true connections)",
+        y_label="log10(estimate)",
+        title="Sketch estimate vs truth (saturates near 500+)",
+        height=12,
+    )
+    return ExperimentResult(
+        experiment_id="ablation-sketch",
+        title="Connection-sketch accuracy",
+        paper_claim=(
+            "The 128-bit sketch is precise up to a dozen connections and "
+            "saturates around 500; the qualitative few-vs-dozens-vs-hundreds "
+            "distinction is what the analysis needs."
+        ),
+        tables=[table],
+        metrics=metrics,
+        rendering=rendering,
+        notes=(
+            f"Relative error {metrics['rel_error_at_12'] * 100:.1f}% at 12 "
+            f"connections and {metrics['rel_error_at_100'] * 100:.1f}% at 100; "
+            f"estimates land in the correct Figure 19 bucket "
+            f"{metrics['bucket_agreement_at_50'] * 100:.0f}% of the time at "
+            f"fan-in 50; above ~500 the sketch pins to "
+            f"{SATURATION_ESTIMATE} — the paper's stated envelope."
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Ablation: sensitivity of the findings to the burst definition.
+
+The paper defines a burst as samples exceeding 50% of line rate,
+"following previous work [Zhang et al. 2017]", arguing traffic below
+that rate does not typically result in buffering.  This ablation
+re-runs the contention and loss analysis with thresholds of 30%, 50%,
+and 70% on the same dataset and checks which conclusions are
+threshold-robust: the bimodal rack split, the contended-burst
+fraction, and — most importantly — the loss inversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.racks import rack_profiles
+from ..analysis.summary import summarize_run
+from ..fleet.rackrun import RackRunSynthesizer
+from ..workload.region import REGION_A, build_region_workloads
+from .base import ExperimentResult, ResultTable
+from .context import ExperimentContext
+
+THRESHOLDS = (0.3, 0.5, 0.7)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    # Re-synthesize a compact RegA slice once, then re-analyze the same
+    # raw runs under each threshold (the threshold is an analysis
+    # parameter, not a generation parameter).
+    rng = np.random.default_rng(ctx.fleet.seed + 17)
+    racks = max(12, ctx.fleet.racks_per_region // 4)
+    workloads = build_region_workloads(REGION_A, racks=racks, rng=rng)
+    synthesizer = RackRunSynthesizer()
+    raw_runs = [
+        synthesizer.synthesize(workload, hour=6, rng=rng) for workload in workloads
+    ]
+
+    rows = []
+    metrics: dict[str, float] = {}
+    for threshold in THRESHOLDS:
+        summaries = [summarize_run(run, threshold=threshold) for run in raw_runs]
+        profiles = rack_profiles(summaries)
+        contention = np.array([p.mean_contention for p in profiles])
+        coloc = np.array([p.colocated for p in profiles])
+
+        bursts = [b for s in summaries for b in s.bursts]
+        contended = sum(1 for b in bursts if b.contended)
+        lossy_coloc = [
+            (b.lossy, b.contended)
+            for s in summaries
+            if s.extras.get("colocated")
+            for b in s.bursts
+        ]
+        lossy_spread = [
+            b.lossy
+            for s in summaries
+            if not s.extras.get("colocated")
+            for b in s.bursts
+        ]
+        coloc_lossy_pct = (
+            np.mean([l for l, _ in lossy_coloc]) * 100 if lossy_coloc else 0.0
+        )
+        spread_lossy_pct = np.mean(lossy_spread) * 100 if lossy_spread else 0.0
+        gap = (
+            contention[coloc].mean() / max(contention[~coloc].mean(), 1e-9)
+            if coloc.any() and (~coloc).any()
+            else 0.0
+        )
+        inversion = spread_lossy_pct > coloc_lossy_pct
+
+        label = f"{int(threshold * 100)}pct"
+        metrics[f"contended_fraction_{label}"] = contended / max(len(bursts), 1)
+        metrics[f"contention_gap_{label}"] = float(gap)
+        metrics[f"inversion_holds_{label}"] = float(inversion)
+        rows.append(
+            [
+                f"{threshold:.0%}",
+                len(bursts),
+                f"{contended / max(len(bursts), 1) * 100:.1f}%",
+                f"{gap:.1f}x",
+                f"{spread_lossy_pct:.2f}%",
+                f"{coloc_lossy_pct:.2f}%",
+                "yes" if inversion else "NO",
+            ]
+        )
+
+    table = ResultTable(
+        title="Burst-threshold sensitivity (RegA slice, busy hour)",
+        headers=["threshold", "bursts", "contended", "coloc/spread contention",
+                 "spread lossy", "coloc lossy", "inversion holds"],
+        rows=rows,
+    )
+    robust = all(metrics[f"inversion_holds_{int(t * 100)}pct"] for t in THRESHOLDS)
+    return ExperimentResult(
+        experiment_id="ablation-threshold",
+        title="Burst-definition sensitivity",
+        paper_claim=(
+            "The 50%-of-line-rate burst definition follows prior work; the "
+            "qualitative findings should not hinge on the exact cut."
+        ),
+        tables=[table],
+        metrics=metrics,
+        notes=(
+            "Loss inversion holds at every threshold."
+            if robust
+            else "Loss inversion is threshold-sensitive at this scale."
+        ),
+    )

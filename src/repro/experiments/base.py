@@ -1,0 +1,81 @@
+"""Experiment result types."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..viz.series import Series, write_csv
+from ..viz.table import render_table
+
+
+@dataclass
+class ResultTable:
+    """One table of an experiment's output."""
+
+    title: str
+    headers: list[str]
+    rows: list[list]
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produces."""
+
+    experiment_id: str
+    title: str
+    #: The paper's description of what this result showed.
+    paper_claim: str
+    #: Data series behind the figure (empty for pure tables).
+    series: list[Series] = field(default_factory=list)
+    tables: list[ResultTable] = field(default_factory=list)
+    #: Headline metrics, name -> value, used by EXPERIMENTS.md and tests.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: ASCII rendering of the figure.
+    rendering: str = ""
+    #: Free-text comparison against the paper.
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full text report for the terminal."""
+        parts = [f"== {self.experiment_id}: {self.title} ==", f"Paper: {self.paper_claim}"]
+        if self.rendering:
+            parts.append(self.rendering)
+        for table in self.tables:
+            parts.append(table.render())
+        if self.metrics:
+            metric_lines = [
+                f"  {name} = {value:.6g}" for name, value in sorted(self.metrics.items())
+            ]
+            parts.append("Metrics:\n" + "\n".join(metric_lines))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+    def save(self, directory: str) -> list[str]:
+        """Write CSV series and the text report under ``directory``;
+        returns the created paths."""
+        os.makedirs(directory, exist_ok=True)
+        created = []
+        if self.series:
+            csv_path = os.path.join(directory, f"{self.experiment_id}.csv")
+            write_csv(self.series, csv_path)
+            created.append(csv_path)
+        report_path = os.path.join(directory, f"{self.experiment_id}.txt")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(self.render() + "\n")
+        created.append(report_path)
+        return created
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise AnalysisError(
+                f"{self.experiment_id} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            ) from None

@@ -1,0 +1,200 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Examples::
+
+    millisampler-repro list
+    millisampler-repro run fig9 fig16 --racks 60
+    millisampler-repro run all --out results/ --racks 150
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..config import FleetConfig
+from .context import ExperimentContext
+from .registry import EXPERIMENTS, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="millisampler-repro",
+        description=(
+            "Reproduce the tables and figures of 'A Microscopic View of "
+            "Bursts, Buffer Contention, and Loss in Data Centers' (IMC 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (fig1..fig19, table1, table2, perf) or 'all'",
+    )
+    run_parser.add_argument("--racks", type=int, default=100,
+                            help="racks per region for the synthetic dataset")
+    run_parser.add_argument("--runs-per-rack", type=int, default=10)
+    run_parser.add_argument("--seed", type=int, default=20221025)
+    run_parser.add_argument("--out", type=str, default=None,
+                            help="directory for CSV series and text reports")
+    run_parser.add_argument("--quiet", action="store_true")
+
+    export_parser = sub.add_parser(
+        "export",
+        help="generate a synthetic region-day and write it in the "
+             "Millisampler dataset format (NDJSON.gz per rack run)",
+    )
+    export_parser.add_argument("out", help="output directory")
+    export_parser.add_argument("--region", choices=("RegA", "RegB"), default="RegA")
+    export_parser.add_argument("--racks", type=int, default=10)
+    export_parser.add_argument("--runs-per-rack", type=int, default=4)
+    export_parser.add_argument("--seed", type=int, default=20221025)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="run the paper's burst/contention/loss analysis on a "
+             "directory of Millisampler dataset files (released or exported)",
+    )
+    analyze_parser.add_argument("directory")
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write one markdown report"
+    )
+    report_parser.add_argument("out", help="output markdown path (e.g. REPORT.md)")
+    report_parser.add_argument("--racks", type=int, default=60)
+    report_parser.add_argument("--runs-per-rack", type=int, default=8)
+    report_parser.add_argument("--seed", type=int, default=20221025)
+    return parser
+
+
+def _export(args) -> int:
+    """Handle `export`: write a synthetic region in dataset format."""
+    import numpy as np
+
+    from ..fleet.rackrun import RackRunSynthesizer
+    from ..io.msdata import write_sync_run
+    from ..workload.region import REGION_A, REGION_B, build_region_workloads
+
+    spec = REGION_A if args.region == "RegA" else REGION_B
+    rng = np.random.default_rng(args.seed)
+    synthesizer = RackRunSynthesizer()
+    workloads = build_region_workloads(spec, args.racks, rng)
+    written = 0
+    for workload in workloads:
+        hours = np.sort(rng.choice(24, size=args.runs_per_rack, replace=False))
+        for hour in hours:
+            sync_run = synthesizer.synthesize(workload, int(hour), rng)
+            write_sync_run(sync_run, args.out)
+            written += 1
+    print(f"wrote {written} rack runs to {args.out}")
+    return 0
+
+
+def _analyze(args) -> int:
+    """Handle `analyze`: the Section 5-8 pipeline over dataset files."""
+    import numpy as np
+
+    from ..analysis.stats import percentile
+    from ..analysis.summary import summarize_run
+    from ..io.msdata import load_rack_directory
+    from ..viz.table import render_table
+
+    sync_runs = load_rack_directory(args.directory)
+    summaries = [summarize_run(run) for run in sync_runs]
+    bursts = [b for s in summaries for b in s.bursts]
+    if not bursts:
+        print("no bursts found in the dataset")
+        return 0
+    lengths = [b.length for b in bursts]
+    contended = sum(1 for b in bursts if b.contended)
+    lossy = sum(1 for b in bursts if b.lossy)
+    contention = [s.contention.mean for s in summaries]
+    rows = [
+        ["rack runs", len(summaries)],
+        ["server runs", sum(s.servers for s in summaries)],
+        ["bursts", len(bursts)],
+        ["median burst length (ms)", percentile(lengths, 50)],
+        ["p90 burst length (ms)", percentile(lengths, 90)],
+        ["contended bursts", f"{contended / len(bursts) * 100:.1f}%"],
+        ["lossy bursts", f"{lossy / len(bursts) * 100:.2f}%"],
+        ["mean avg contention", f"{float(np.mean(contention)):.2f}"],
+        ["p90 avg contention", percentile(contention, 90)],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"Millisampler dataset analysis: {args.directory}"))
+    return 0
+
+
+def _report(args) -> int:
+    """Handle `report`: run everything, write one markdown report."""
+    from .report import write_report
+
+    ctx = ExperimentContext(
+        fleet=FleetConfig(
+            racks_per_region=args.racks,
+            runs_per_rack=args.runs_per_rack,
+            seed=args.seed,
+        )
+    )
+    path = write_report(
+        ctx, args.out,
+        progress=lambda eid, took: print(f"  {eid}: {took:.1f}s"),
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "export":
+        return _export(args)
+    if args.command == "analyze":
+        return _analyze(args)
+    if args.command == "report":
+        return _report(args)
+    if args.command == "list":
+        for experiment_id, entry in sorted(
+            EXPERIMENTS.items(), key=lambda kv: (len(kv[0]), kv[0])
+        ):
+            print(f"{experiment_id:8s} {entry.title}")
+        return 0
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = sorted(EXPERIMENTS, key=lambda k: (len(k), k))
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    ctx = ExperimentContext(
+        fleet=FleetConfig(
+            racks_per_region=args.racks,
+            runs_per_rack=args.runs_per_rack,
+            seed=args.seed,
+        ),
+        verbose=not args.quiet,
+    )
+    for experiment_id in requested:
+        started = time.time()
+        result = get_experiment(experiment_id)(ctx)
+        elapsed = time.time() - started
+        if not args.quiet:
+            print(result.render())
+            print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+        if args.out:
+            for path in result.save(args.out):
+                if not args.quiet:
+                    print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

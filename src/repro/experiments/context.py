@@ -1,0 +1,105 @@
+"""Shared experiment context: datasets generated once, used by every
+figure.
+
+The paper's analyses all draw on one day of SyncMillisampler data per
+region; the context mirrors that by generating each region-day lazily
+and caching it, so running all experiments costs one dataset pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.racks import (
+    DEFAULT_CONTENTION_SPLIT,
+    RackClass,
+    RackProfile,
+    classify_racks,
+    rack_profiles,
+)
+from ..analysis.summary import RunSummary
+from ..config import FleetConfig
+from ..errors import ConfigError
+from ..fleet.dataset import RegionDataset, generate_region_dataset
+from ..workload.region import REGION_A, REGION_B, RegionSpec
+
+
+#: The busy hour both regions share in the paper's Figure 9 (6-7 am).
+BUSY_HOUR = 6
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily generated, cached datasets plus derived classifications."""
+
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    busy_hour: int = BUSY_HOUR
+    contention_split: float = DEFAULT_CONTENTION_SPLIT
+    verbose: bool = False
+    _datasets: dict[str, RegionDataset] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def small(cls, racks: int = 24, runs_per_rack: int = 4, seed: int = 3) -> "ExperimentContext":
+        """A fast context for tests and benchmarks."""
+        return cls(fleet=FleetConfig(racks_per_region=racks, runs_per_rack=runs_per_rack, seed=seed))
+
+    @classmethod
+    def paper_scale(cls, racks: int = 150, runs_per_rack: int = 10) -> "ExperimentContext":
+        """The default scale for regenerating all figures (minutes of CPU)."""
+        return cls(fleet=FleetConfig(racks_per_region=racks, runs_per_rack=runs_per_rack))
+
+    def _spec(self, region: str) -> RegionSpec:
+        if region == "RegA":
+            return REGION_A
+        if region == "RegB":
+            return REGION_B
+        raise ConfigError(f"unknown region {region!r}")
+
+    def dataset(self, region: str) -> RegionDataset:
+        """The region-day dataset, generated on first use."""
+        if region not in self._datasets:
+            progress = None
+            if self.verbose:
+                def progress(done: int, total: int, _region: str = region) -> None:
+                    if done % 200 == 0 or done == total:
+                        print(f"  [{_region}] {done}/{total} rack runs")
+            self._datasets[region] = generate_region_dataset(
+                self._spec(region), self.fleet, progress=progress
+            )
+        return self._datasets[region]
+
+    def summaries(self, region: str) -> list[RunSummary]:
+        return self.dataset(region).summaries
+
+    # -- derived classifications ------------------------------------------
+
+    def profiles(self, region: str, busy_hour_only: bool = False) -> list[RackProfile]:
+        """Per-rack aggregates; ``busy_hour_only`` restricts to a short
+        window around the busy hour (each rack is sampled ~10 of 24
+        hours, so a single hour would cover less than half the racks —
+        the window keeps the rack sample representative)."""
+        summaries = self.summaries(region)
+        hours: set[int] | None = None
+        if busy_hour_only:
+            hours = {self.busy_hour - 1, self.busy_hour, self.busy_hour + 1}
+            covered = {s.hour for s in summaries}
+            if not hours & covered:
+                # Tiny test datasets may miss the window entirely; fall
+                # back to the fullest hour.
+                hours = {max(covered, key=lambda h: sum(1 for s in summaries if s.hour == h))}
+        return rack_profiles(summaries, hours=hours)
+
+    def rega_classes(self) -> dict[RackClass, list[RackProfile]]:
+        """The RegA-Typical / RegA-High split (whole-day contention)."""
+        return classify_racks(self.profiles("RegA"), split=self.contention_split)
+
+    def rega_high_racks(self) -> set[str]:
+        return {profile.rack for profile in self.rega_classes()[RackClass.HIGH]}
+
+    def class_of_run(self, summary: RunSummary) -> str:
+        """'RegA-Typical' / 'RegA-High' / 'RegB' for a run summary."""
+        if summary.region == "RegB":
+            return "RegB"
+        if summary.rack in self.rega_high_racks():
+            return RackClass.HIGH.value
+        return RackClass.TYPICAL.value

@@ -1,0 +1,151 @@
+"""Extension: fabric traversal smooths bursts before the ToR.
+
+Section 8.1 explains why RegA-High racks correlate with *fabric*
+discards but see low ToR loss: in the fabric, "ASICs are more diverse,
+with a variety of buffer sizes, and link speeds are significantly
+higher ... similar contention levels could result in less loss, and
+also result in somewhat smoother bursts arriving downstream at the
+racks."
+
+This experiment sends the identical synchronized fan-in twice:
+
+* **direct** — senders attached to the receiving ToR via fast ports
+  (the burst hits the ToR at full aggregate speed);
+* **via fabric** — senders in other racks, so the burst first queues in
+  the fabric's large buffer and drains at the downlink rate.
+
+and compares where the bytes are dropped and how peaky the arrival at
+the server link is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..simnet.fabric import build_pod
+from ..simnet.packet import FlowKey, Packet
+from ..simnet.topology import build_rack
+from .base import ExperimentResult, ResultTable
+from .context import ExperimentContext
+
+SENDERS = 6
+BURST_PER_SENDER = int(1.5 * units.MB)
+SEGMENT = 16_000
+
+
+def _blast(source, target_name: str, sport: int) -> None:
+    flow = FlowKey(source.name, target_name, sport, 7000)
+    sent = 0
+    seq = 0
+    while sent < BURST_PER_SENDER:
+        size = min(SEGMENT, BURST_PER_SENDER - sent)
+        source.send(
+            Packet(source.name, target_name, size, flow, seq=seq, payload=size,
+                   ecn_capable=False)
+        )
+        seq += size
+        sent += size
+
+
+def _arrival_stats(times: list[float], bucket: float = 1e-3) -> tuple[float, float]:
+    """(span seconds, peak-to-mean ratio of 1 ms arrival counts)."""
+    if not times:
+        return 0.0, 0.0
+    array = np.asarray(times)
+    span = float(array.max() - array.min())
+    if span == 0:
+        return 0.0, float("inf")
+    counts, _ = np.histogram(array, bins=max(int(span / bucket), 1))
+    return span, float(counts.max() / max(counts.mean(), 1e-9))
+
+
+def run_direct(seed: int = 0) -> dict:
+    """The fan-in with senders attached directly to the receiving ToR."""
+    rack = build_rack(servers=SENDERS + 1, rng=np.random.default_rng(seed))
+    target = rack.hosts[0]
+    arrivals: list[float] = []
+    target.default_handler = lambda p: arrivals.append(rack.engine.now)
+    for index, sender in enumerate(rack.hosts[1:]):
+        sender.uplink.rate = units.gbps(100)
+        _blast(sender, target.name, 8000 + index)
+    rack.engine.run_until(1.0)
+    span, peak = _arrival_stats(arrivals)
+    offered = SENDERS * BURST_PER_SENDER
+    return {
+        "tor_discards": rack.switch.counters.discard_bytes / offered,
+        "fabric_discards": 0.0,
+        "span_ms": span * 1e3,
+        "peak_to_mean": peak,
+    }
+
+
+def run_via_fabric(seed: int = 0) -> dict:
+    """The same fan-in with senders one fabric hop away."""
+    pod = build_pod(racks=SENDERS + 1, servers_per_rack=2,
+                    rng=np.random.default_rng(seed))
+    # The downlink to the target rack runs at 2x the server link — fast,
+    # but far below the senders' aggregate.
+    pod.fabric._downlinks["rack0"].rate = units.gbps(25)
+    target = pod.racks[0].hosts[0]
+    arrivals: list[float] = []
+    target.default_handler = lambda p: arrivals.append(pod.engine.now)
+    for index in range(SENDERS):
+        sender = pod.racks[index + 1].hosts[0]
+        sender.uplink.rate = units.gbps(100)
+        _blast(sender, target.name, 8000 + index)
+    pod.engine.run_until(1.0)
+    span, peak = _arrival_stats(arrivals)
+    offered = SENDERS * BURST_PER_SENDER
+    return {
+        "tor_discards": pod.racks[0].switch.counters.discard_bytes / offered,
+        "fabric_discards": pod.fabric.discard_bytes / offered,
+        "span_ms": span * 1e3,
+        "peak_to_mean": peak,
+    }
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    direct = run_direct()
+    fabric = run_via_fabric()
+
+    rows = [
+        ["direct to ToR", f"{direct['tor_discards'] * 100:.2f}%", "-",
+         f"{direct['span_ms']:.1f}", f"{direct['peak_to_mean']:.2f}"],
+        ["via fabric", f"{fabric['tor_discards'] * 100:.2f}%",
+         f"{fabric['fabric_discards'] * 100:.2f}%",
+         f"{fabric['span_ms']:.1f}", f"{fabric['peak_to_mean']:.2f}"],
+    ]
+    table = ResultTable(
+        title=f"Identical {SENDERS}-way fan-in ({SENDERS}x{BURST_PER_SENDER // 1024} KB)",
+        headers=["path", "ToR discards", "fabric discards",
+                 "arrival span (ms)", "arrival peak/mean"],
+        rows=rows,
+    )
+    metrics = {
+        "direct_tor_discards": direct["tor_discards"],
+        "fabric_tor_discards": fabric["tor_discards"],
+        "fabric_fabric_discards": fabric["fabric_discards"],
+        "direct_peak_to_mean": direct["peak_to_mean"],
+        "fabric_peak_to_mean": fabric["peak_to_mean"],
+        "span_stretch": fabric["span_ms"] / max(direct["span_ms"], 1e-9),
+    }
+    return ExperimentResult(
+        experiment_id="fabric-smoothing",
+        title="Fabric smoothing of bursts (Section 8.1)",
+        paper_claim=(
+            "The fabric's larger buffers and faster links absorb contention "
+            "with less loss and deliver smoother bursts downstream to the "
+            "racks — part of why RegA-High racks show fabric discards but "
+            "low ToR loss."
+        ),
+        tables=[table],
+        metrics=metrics,
+        notes=(
+            f"The fabric path stretches the arrival {metrics['span_stretch']:.1f}x "
+            f"and cuts ToR discards from {direct['tor_discards'] * 100:.2f}% to "
+            f"{fabric['tor_discards'] * 100:.2f}% — the burst is absorbed "
+            f"upstream, where the buffer is larger."
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Figure 1: per-queue buffer share vs. number of active queues.
+
+The dynamic-threshold fixed point T = alpha*B / (1 + alpha*S) for
+alpha in {0.25, 0.5, 1, 2, 4}, plotted as a fraction of the shared
+buffer.  This experiment evaluates the formula *and* verifies it
+against the packet-level :class:`~repro.simnet.buffer.SharedBuffer` by
+filling S queues to their limits and measuring the realized share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import BufferConfig
+from ..simnet.buffer import SharedBuffer
+from ..viz.ascii import ascii_plot
+from ..viz.series import Series
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+ALPHAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+MAX_QUEUES = 10
+
+
+def measured_share(alpha: float, active_queues: int, packet: int = 4096) -> float:
+    """Fill ``active_queues`` queues of a real SharedBuffer round-robin
+    until nothing more is admitted; return the realized per-queue share
+    of the shared pool."""
+    config = BufferConfig(alpha=alpha, dedicated_bytes_per_queue=0.0)
+    buffer = SharedBuffer(config)
+    names = [f"q{i}" for i in range(active_queues)]
+    for name in names:
+        buffer.register_queue(name)
+    admitted = {name: 0 for name in names}
+    progress = True
+    while progress:
+        progress = False
+        for name in names:
+            if buffer.admit(name, packet).accepted:
+                admitted[name] += packet
+                progress = True
+    return float(np.mean([admitted[name] for name in names])) / config.shared_bytes
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    queues = np.arange(0, MAX_QUEUES + 1)
+    series = []
+    ys = {}
+    metrics: dict[str, float] = {}
+    for alpha in ALPHAS:
+        config = BufferConfig(alpha=alpha)
+        shares = np.array([config.queue_share_fraction(int(s)) for s in queues])
+        name = f"alpha={alpha:g}"
+        series.append(Series(name, queues.astype(float), shares))
+        ys[name] = shares
+        metrics[f"share_alpha{alpha:g}_s1"] = shares[1]
+        metrics[f"share_alpha{alpha:g}_s2"] = shares[2]
+
+    # Cross-validate the formula against the packet-level buffer.
+    worst_error = 0.0
+    for alpha in (0.5, 1.0, 2.0):
+        for s in (1, 2, 4, 8):
+            analytic = BufferConfig(alpha=alpha).queue_share_fraction(s)
+            realized = measured_share(alpha, s)
+            worst_error = max(worst_error, abs(analytic - realized))
+    metrics["max_formula_vs_packet_error"] = worst_error
+
+    rendering = ascii_plot(
+        queues.astype(float),
+        ys,
+        x_label="# of active queues (S)",
+        y_label="queue share T (frac of buffer)",
+        title="Figure 1: dynamic-threshold queue share",
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Queue share vs active queues for varying alpha",
+        paper_claim=(
+            "alpha=1: one active queue gets B/2, two get B/3 each; larger "
+            "alpha gives bigger but more contention-sensitive shares; the "
+            "slope is steepest at low contention."
+        ),
+        series=series,
+        metrics=metrics,
+        rendering=rendering,
+        notes=(
+            f"Packet-level SharedBuffer realizes the fixed point within "
+            f"{worst_error:.3f} of the formula across alpha/S combinations."
+        ),
+    )

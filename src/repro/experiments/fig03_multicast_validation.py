@@ -1,0 +1,131 @@
+"""Figure 3 (validation): rack-local multicast bursts land in the same
+1 ms sample on every subscribed host.
+
+Reproduces Section 4.5's first experiment end-to-end on the packet
+simulator: eight mostly idle servers subscribe to a multicast group;
+a ninth sends periodic bursts; SyncMillisampler collects 1 ms runs on
+all eight; the analysis checks that every burst appears in the same
+aligned sample across hosts despite sub-millisecond clock offsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SamplerConfig
+from ..core.syncsampler import SyncMillisampler
+from ..simnet.clock import max_pairwise_skew
+from ..simnet.topology import build_rack
+from ..workload.flows import MulticastBurster
+from ..viz.ascii import sparkline
+from ..viz.series import Series
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+SUBSCRIBERS = 8
+BURST_PERIOD = 100e-3
+RUN_BUCKETS = 2000
+
+
+def run_simulation(
+    seed: int = 0, buckets: int = RUN_BUCKETS
+) -> tuple[np.ndarray, list, float]:
+    """Returns (per-server link-rate matrix in Gbps, aligned runs, skew)."""
+    rng = np.random.default_rng(seed)
+    sampler_config = SamplerConfig(buckets=buckets, cpus=4)
+    rack = build_rack(
+        name="mcast", servers=SUBSCRIBERS + 1, sampler_config=sampler_config, rng=rng
+    )
+    engine = rack.engine
+    group = "239.0.0.1"
+    for host in rack.hosts[:SUBSCRIBERS]:
+        rack.switch.join_multicast(group, host.name)
+    sender = rack.hosts[SUBSCRIBERS]
+    burster = MulticastBurster(
+        sender, group, burst_bytes=256 * 1024, period=BURST_PERIOD
+    )
+
+    sync = SyncMillisampler()
+    start_at = 3 * sampler_config.duration
+    sync_id = sync.request_collection(
+        rack.sampled_hosts[:SUBSCRIBERS], rack.name, "RegA", start_at, now=engine.now
+    )
+    burster.start()
+
+    end = start_at + sampler_config.duration + 0.2
+    # Poll times as exact multiples: a poll must land exactly on the
+    # scheduled sync start (interval accumulation drifts in float).
+    tick = 0
+    while engine.now < end:
+        engine.run_until(min(tick * 10e-3, end))
+        rack.poll_samplers()
+        tick += 1
+    rack.poll_samplers()
+
+    sync_run = sync.assemble(sync_id)
+    interval = sync_run.sampling_interval
+    rates = np.vstack(
+        [r.in_bytes / interval * 8 / 1e9 for r in sync_run.runs]
+    )  # Gbps
+    skew = max_pairwise_skew([host.clock for host in rack.hosts[:SUBSCRIBERS]], start_at)
+    return rates, sync_run.runs, skew
+
+
+def burst_alignment(rates: np.ndarray, threshold_gbps: float = 0.05) -> float:
+    """Fraction of burst onsets that appear in the same aligned sample
+    on every server (allowing +-1 bucket for interpolation edges)."""
+    active = rates > threshold_gbps
+    onsets = []
+    for row in active:
+        rising = np.flatnonzero(row[1:] & ~row[:-1]) + 1
+        onsets.append(set(rising.tolist()))
+    if not onsets or not onsets[0]:
+        return 0.0
+    reference = sorted(onsets[0])
+    aligned = 0
+    for onset in reference:
+        if all(
+            any(abs(onset - other) <= 1 for other in server_onsets)
+            for server_onsets in onsets[1:]
+        ):
+            aligned += 1
+    return aligned / len(reference)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    rates, runs, skew = run_simulation()
+    alignment = burst_alignment(rates)
+    time_axis = np.arange(rates.shape[1], dtype=float)
+    series = [
+        Series(f"Server{i + 1}", time_axis, rates[i]) for i in range(rates.shape[0])
+    ]
+    lines = ["Figure 3: multicast bursts per server (1 ms samples, Gbps)"]
+    for i in range(rates.shape[0]):
+        window = rates[i][:400]
+        lines.append(f"  Server{i + 1} " + sparkline(window))
+    rendering = "\n".join(lines)
+    peak = float(rates.max())
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="SyncMillisampler validation: multicast burst alignment",
+        paper_claim=(
+            "Bursts replicated by the rack switch appear in the same 1 ms "
+            "sample on all eight subscribers; multicast is rate limited so "
+            "bursts do not reach line rate."
+        ),
+        series=series,
+        metrics={
+            "burst_alignment_fraction": alignment,
+            "max_clock_skew_ms": skew * 1e3,
+            "peak_rate_gbps": peak,
+        },
+        rendering=rendering,
+        notes=(
+            f"{alignment * 100:.0f}% of burst onsets aligned across all "
+            f"{rates.shape[0]} subscribers; max pairwise clock skew "
+            f"{skew * 1e3:.3f} ms (< 1 ms sampling interval); peak rate "
+            f"{peak:.2f} Gbps, well under the 12.5 Gbps line rate due to "
+            f"multicast rate limiting."
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Figure 5: deep dive into one low-contention and one high-contention
+SyncMillisampler run.
+
+Synthesizes one spread-placement rack run and one ML-co-located rack
+run and renders the per-queue burst raster plus the contention series,
+as in the paper's two example panels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fleet.rackrun import RackRunSynthesizer
+from ..workload.region import REGION_A, build_region_workloads
+from ..viz.ascii import sparkline
+from ..viz.series import Series
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+
+def _example_runs(seed: int = 11):
+    rng = np.random.default_rng(seed)
+    workloads = build_region_workloads(REGION_A, racks=12, rng=rng)
+    low = next(w for w in workloads if not w.colocated)
+    high = next(w for w in workloads if w.colocated)
+    synthesizer = RackRunSynthesizer()
+    low_run = synthesizer.synthesize(low, hour=6, rng=rng)
+    high_run = synthesizer.synthesize(high, hour=6, rng=rng)
+    return low_run, high_run
+
+
+def _raster(sync_run, max_servers: int = 24, window: int = 400) -> str:
+    matrix = sync_run.bursty_matrix()[:, :window]
+    bursty_servers = [i for i in range(matrix.shape[0]) if matrix[i].any()]
+    lines = []
+    for queue_id in bursty_servers[:max_servers]:
+        row = "".join("." if b else " " for b in matrix[queue_id])
+        lines.append(f"  q{queue_id:3d} |{row}|")
+    contention = sync_run.contention_series()[:window]
+    lines.append("  cont |" + sparkline(contention) + "|")
+    return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    low_run, high_run = _example_runs()
+    low_contention = low_run.contention_series()
+    high_contention = high_run.contention_series()
+
+    series = [
+        Series("low-contention", np.arange(len(low_contention), dtype=float),
+               low_contention.astype(float)),
+        Series("high-contention", np.arange(len(high_contention), dtype=float),
+               high_contention.astype(float)),
+    ]
+    rendering = "\n".join(
+        [
+            "Figure 5a: low-contention run (bursty-sample raster + contention)",
+            _raster(low_run),
+            "",
+            "Figure 5b: high-contention run",
+            _raster(high_run),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Example runs: low vs high contention",
+        paper_claim=(
+            "A typical run's contention varies between 0 and 3; a "
+            "high-contention run varies between 3 and 12, with many "
+            "well-separated bursts per server."
+        ),
+        series=series,
+        metrics={
+            "low_contention_max": float(low_contention.max()),
+            "low_contention_mean": float(low_contention.mean()),
+            "high_contention_max": float(high_contention.max()),
+            "high_contention_mean": float(high_contention.mean()),
+        },
+        rendering=rendering,
+        notes=(
+            f"Low-contention run: mean {low_contention.mean():.2f}, max "
+            f"{low_contention.max():.0f}.  High-contention run: mean "
+            f"{high_contention.mean():.2f}, max {high_contention.max():.0f}."
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Figure 13: diurnal trends in contention (hourly box plots).
+
+Paper: RegA-High contention rises ~27.6% between hours 4 and 10; RegB
+shows clear diurnal patterns too, most pronounced at high percentiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.diurnal import hourly_box_stats, hourly_means, peak_window_increase
+from ..viz.ascii import ascii_boxplot
+from ..viz.series import Series
+from ..viz.table import render_table
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+
+def _box_table(title: str, boxes) -> str:
+    rows = [
+        [hour, stats.low_whisker, stats.q1, stats.median, stats.q3,
+         stats.high_whisker, stats.mean]
+        for hour, stats in boxes.items()
+    ]
+    table = render_table(
+        ["hour", "low", "q1", "median", "q3", "high", "mean"], rows, title=title
+    )
+    plot = ascii_boxplot({f"h{hour:02d}": stats for hour, stats in boxes.items()})
+    return table + "\n\n" + plot
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    high_racks = ctx.rega_high_racks()
+    rega = ctx.summaries("RegA")
+    regb = ctx.summaries("RegB")
+
+    boxes_high = hourly_box_stats(rega, racks=high_racks)
+    boxes_regb = hourly_box_stats(regb)
+
+    means_high = hourly_means(rega, racks=high_racks)
+    means_regb = hourly_means(regb)
+
+    series = [
+        Series(
+            "RegA-High-median",
+            np.array(sorted(boxes_high), dtype=float),
+            np.array([boxes_high[h].median for h in sorted(boxes_high)]),
+        ),
+        Series(
+            "RegB-median",
+            np.array(sorted(boxes_regb), dtype=float),
+            np.array([boxes_regb[h].median for h in sorted(boxes_regb)]),
+        ),
+    ]
+    increase_high = peak_window_increase(means_high, window=(4, 10))
+    # RegB's profile peaks in the local evening in this synthesis.
+    increase_regb = peak_window_increase(means_regb, window=(16, 22))
+    rendering = "\n\n".join(
+        [
+            _box_table("Figure 13 (top): RegA-High contention by hour", boxes_high),
+            _box_table("Figure 13 (bottom): RegB contention by hour", boxes_regb),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Diurnal trends in contention",
+        paper_claim=(
+            "RegA-High contention increases ~27.6% between hours 4 and 10; "
+            "RegB also shows clear diurnal patterns."
+        ),
+        series=series,
+        metrics={
+            "rega_high_peak_increase": increase_high,
+            "regb_peak_increase": increase_regb,
+        },
+        rendering=rendering,
+        notes=(
+            f"RegA-High hours 4-10 mean contention is "
+            f"{increase_high * 100:.1f}% above other hours (paper 27.6%); "
+            f"RegB evening window is {increase_regb * 100:.1f}% above."
+        ),
+    )

@@ -1,0 +1,125 @@
+"""Figure 16: fraction of lossy bursts vs maximum contention, per rack
+class.
+
+Paper: within each class loss rises with contention, but RegA-Typical
+is lossier at contention < 5 than RegA-High is at much higher
+contention — higher contention does not imply more loss.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..viz.ascii import ascii_plot
+from ..viz.series import Series
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+CLASSES = ("RegA-Typical", "RegA-High", "RegB")
+
+
+def loss_by_contention(ctx: ExperimentContext) -> dict[str, dict[int, tuple[int, int]]]:
+    """class -> contention level -> (bursts, lossy bursts)."""
+    counts: dict[str, dict[int, list[int]]] = {
+        name: defaultdict(lambda: [0, 0]) for name in CLASSES
+    }
+    for region in ("RegA", "RegB"):
+        for summary in ctx.summaries(region):
+            burst_class = ctx.class_of_run(summary)
+            for burst in summary.bursts:
+                entry = counts[burst_class][burst.max_contention]
+                entry[0] += 1
+                entry[1] += int(burst.lossy)
+    return {
+        name: {level: (v[0], v[1]) for level, v in buckets.items()}
+        for name, buckets in counts.items()
+    }
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate this artifact (see module docstring)."""
+    data = loss_by_contention(ctx)
+    series = []
+    ys = {}
+    metrics: dict[str, float] = {}
+    max_level = max(
+        (level for buckets in data.values() for level in buckets), default=0
+    )
+    levels = np.arange(1, max_level + 1, dtype=float)
+    for name in CLASSES:
+        buckets = data[name]
+        pct = np.full(len(levels), np.nan)
+        for i, level in enumerate(levels):
+            total, lossy = buckets.get(int(level), (0, 0))
+            if total >= 20:  # need support to estimate a rate
+                pct[i] = lossy / total * 100
+        series.append(Series(name, levels, pct))
+        ys[name] = pct
+        all_total = sum(v[0] for v in buckets.values())
+        all_lossy = sum(v[1] for v in buckets.values())
+        metrics[f"lossy_pct_{name}"] = (
+            all_lossy / all_total * 100 if all_total else 0.0
+        )
+
+    # Alternate Section 8 methodology: contention at first loss rather
+    # than lifetime maximum.  The paper: "bursts tend to see slightly
+    # lower contention levels at the time of their first loss ... the
+    # trends are similar".
+    max_levels = []
+    first_loss_levels = []
+    for region in ("RegA", "RegB"):
+        for summary in ctx.summaries(region):
+            for burst in summary.bursts:
+                if burst.lossy and burst.first_loss_contention >= 0:
+                    max_levels.append(burst.max_contention)
+                    first_loss_levels.append(burst.first_loss_contention)
+    if max_levels:
+        metrics["mean_max_contention_lossy"] = float(np.mean(max_levels))
+        metrics["mean_first_loss_contention"] = float(np.mean(first_loss_levels))
+
+    # The paper's key comparison: typical lossier at low contention than
+    # high at high contention.
+    typical_low = [
+        data["RegA-Typical"].get(level, (0, 0)) for level in range(1, 6)
+    ]
+    low_total = sum(t for t, _ in typical_low)
+    low_lossy = sum(l for _, l in typical_low)
+    metrics["typical_loss_at_contention_le5"] = (
+        low_lossy / low_total * 100 if low_total else 0.0
+    )
+    high_all = data["RegA-High"]
+    high_total = sum(v[0] for v in high_all.values())
+    high_lossy = sum(v[1] for v in high_all.values())
+    metrics["high_loss_overall"] = high_lossy / high_total * 100 if high_total else 0.0
+
+    rendering = ascii_plot(
+        levels, ys,
+        x_label="contention",
+        y_label="% of bursts with loss",
+        title="Figure 16: contention vs loss, by rack class",
+    )
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Correlation between contention and loss",
+        paper_claim=(
+            "Loss rises with contention within each class, but RegA-Typical "
+            "bursts at contention <= 5 are lossier than RegA-High bursts at "
+            "much higher contention levels."
+        ),
+        series=series,
+        metrics=metrics,
+        rendering=rendering,
+        notes=(
+            f"RegA-Typical at contention<=5 loses "
+            f"{metrics['typical_loss_at_contention_le5']:.2f}% of bursts vs "
+            f"RegA-High overall {metrics['high_loss_overall']:.2f}% — the "
+            f"paper's inversion.  Alternate methodology check: lossy bursts' "
+            f"mean contention at first loss "
+            f"{metrics.get('mean_first_loss_contention', float('nan')):.1f} vs "
+            f"lifetime maximum "
+            f"{metrics.get('mean_max_contention_lossy', float('nan')):.1f} "
+            f"(paper: slightly lower at first loss, same trends)."
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigError
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    experiment_id: str
+    module: str
+    title: str
+    #: Whether the experiment needs the fleet dataset (vs packet-level
+    #: simulation or pure analytics) — used to order runs so the
+    #: dataset generates once, early.
+    needs_dataset: bool = True
+
+
+EXPERIMENTS: dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in (
+        ExperimentEntry("fig1", "fig01_queue_share", "Dynamic-threshold queue share", False),
+        ExperimentEntry("fig3", "fig03_multicast_validation", "Multicast sync validation", False),
+        ExperimentEntry("fig4", "fig04_burst_validation", "Bursty-server count validation", False),
+        ExperimentEntry("fig5", "fig05_example_runs", "Example low/high contention runs", False),
+        ExperimentEntry("fig6", "fig06_burst_frequency", "Burst frequency CDF"),
+        ExperimentEntry("fig7", "fig07_burst_length", "Burst length distribution"),
+        ExperimentEntry("fig8", "fig08_connections", "Connections inside/outside bursts"),
+        ExperimentEntry("fig9", "fig09_contention_cdf", "Busy-hour contention across racks"),
+        ExperimentEntry("fig10", "fig10_task_diversity", "Task diversity across racks"),
+        ExperimentEntry("fig11", "fig11_dominant_task", "Dominant task density"),
+        ExperimentEntry("fig12", "fig12_rack_variation", "Per-rack contention over a day"),
+        ExperimentEntry("fig13", "fig13_diurnal", "Diurnal contention trends"),
+        ExperimentEntry("fig14", "fig14_volume_correlation", "Contention vs ingress volume"),
+        ExperimentEntry("fig15", "fig15_run_variation", "Within-run contention variation"),
+        ExperimentEntry("fig16", "fig16_contention_loss", "Contention vs loss"),
+        ExperimentEntry("fig17", "fig17_switch_discards", "Normalized switch discards"),
+        ExperimentEntry("fig18", "fig18_length_loss", "Burst length vs loss"),
+        ExperimentEntry("fig19", "fig19_incast_loss", "Incast (connections) vs loss"),
+        ExperimentEntry("table1", "table1_dataset", "Dataset summary"),
+        ExperimentEntry("table2", "table2_burst_summary", "Burst summary per rack class"),
+        ExperimentEntry("perf", "perf_sampler", "Millisampler cost model (Section 4.3)", False),
+        ExperimentEntry("gso", "gso_inflation", "GSO inflation at fine timescales (Section 4.6)", False),
+        ExperimentEntry(
+            "crossval", "crossval_fluid", "Fluid vs packet-level cross-validation", False
+        ),
+        ExperimentEntry(
+            "ablation-policies", "ablation_policies", "Buffer-sharing policy ablation", False
+        ),
+        ExperimentEntry(
+            "ablation-threshold",
+            "ablation_threshold",
+            "Burst-definition sensitivity",
+            False,
+        ),
+        ExperimentEntry(
+            "implication-placement",
+            "implication_placement",
+            "Placement-metric comparison (Section 9)",
+        ),
+        ExperimentEntry(
+            "fabric-smoothing",
+            "fabric_smoothing",
+            "Fabric smoothing of bursts (Section 8.1)",
+            False,
+        ),
+        ExperimentEntry(
+            "ablation-sketch",
+            "ablation_sketch",
+            "Connection-sketch accuracy",
+            False,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[ExperimentContext], ExperimentResult]:
+    """Resolve an experiment id to its run function."""
+    entry = EXPERIMENTS.get(experiment_id)
+    if entry is None:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(f".{entry.module}", package=__package__)
+    return module.run
+
+
+def run_experiment(
+    experiment_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment (creating a default context if none given)."""
+    ctx = ctx or ExperimentContext()
+    return get_experiment(experiment_id)(ctx)

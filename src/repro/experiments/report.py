@@ -1,0 +1,77 @@
+"""Combined report generation: every experiment into one document.
+
+``millisampler-repro report`` runs the full registry against one shared
+context and writes a single markdown report with, per artifact: the
+paper's claim, the measured headline metrics, and the rendering —
+the machine-generated companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .registry import EXPERIMENTS, get_experiment
+
+
+def run_all(
+    ctx: ExperimentContext,
+    experiment_ids: list[str] | None = None,
+    progress=None,
+) -> dict[str, ExperimentResult]:
+    """Run every (or the named) experiments against one context."""
+    ids = experiment_ids or sorted(EXPERIMENTS, key=lambda k: (len(k), k))
+    results: dict[str, ExperimentResult] = {}
+    for experiment_id in ids:
+        started = time.time()
+        results[experiment_id] = get_experiment(experiment_id)(ctx)
+        if progress is not None:
+            progress(experiment_id, time.time() - started)
+    return results
+
+
+def render_markdown(
+    results: dict[str, ExperimentResult], ctx: ExperimentContext
+) -> str:
+    """One markdown document covering every result."""
+    buffer = io.StringIO()
+    buffer.write("# Millisampler reproduction report\n\n")
+    buffer.write(
+        f"Generated from the synthetic dataset: "
+        f"{ctx.fleet.racks_per_region} racks/region x "
+        f"{ctx.fleet.runs_per_rack} runs/rack, seed {ctx.fleet.seed}.\n\n"
+    )
+    buffer.write("## Summary\n\n")
+    buffer.write("| experiment | title | headline |\n|---|---|---|\n")
+    for experiment_id, result in results.items():
+        headline = result.notes.split(";")[0].split(".")[0][:110] if result.notes else ""
+        buffer.write(f"| `{experiment_id}` | {result.title} | {headline} |\n")
+
+    for experiment_id, result in results.items():
+        buffer.write(f"\n---\n\n## {experiment_id}: {result.title}\n\n")
+        buffer.write(f"**Paper:** {result.paper_claim}\n\n")
+        if result.notes:
+            buffer.write(f"**Measured:** {result.notes}\n\n")
+        for table in result.tables:
+            buffer.write("```\n" + table.render() + "\n```\n\n")
+        if result.metrics:
+            buffer.write("<details><summary>metrics</summary>\n\n```\n")
+            for name, value in sorted(result.metrics.items()):
+                buffer.write(f"{name} = {value:.6g}\n")
+            buffer.write("```\n</details>\n")
+    return buffer.getvalue()
+
+
+def write_report(
+    ctx: ExperimentContext,
+    path: str,
+    experiment_ids: list[str] | None = None,
+    progress=None,
+) -> str:
+    """Run and write the combined report; returns the path."""
+    results = run_all(ctx, experiment_ids, progress)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(results, ctx))
+    return path

@@ -1,0 +1,143 @@
+"""Calibration harness: is the synthesis still inside the paper's bands?
+
+The fluid model's service catalog and demand parameters were tuned so
+the synthetic fleet lands near the paper's aggregate statistics.  This
+module makes that tuning testable: :data:`PAPER_TARGETS` records the
+published values with acceptance bands, :func:`measure` computes the
+same statistics from a fresh synthesis, and :func:`check` reports what
+moved out of band — the regression guard that keeps future parameter
+changes honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.region import REGION_A, REGION_B, build_region_workloads
+from ..analysis.summary import summarize_run
+from ..errors import AnalysisError
+from .rackrun import RackRunSynthesizer
+
+
+@dataclass(frozen=True)
+class Target:
+    """One published statistic with an acceptance band."""
+
+    name: str
+    paper_value: float
+    low: float
+    high: float
+
+    def holds(self, measured: float) -> bool:
+        return self.low <= measured <= self.high
+
+
+#: The Section 6-8 statistics the synthesis is calibrated against.
+#: Bands are deliberately wide — shape fidelity, not curve fitting.
+PAPER_TARGETS: tuple[Target, ...] = (
+    Target("bursty_server_run_fraction", 0.34, 0.2, 0.55),
+    Target("median_burst_length_ms", 2.0, 1.0, 4.0),
+    Target("median_burst_volume_mb", 1.8, 0.8, 3.5),
+    Target("conn_ratio_inside_outside", 2.7, 1.5, 4.5),
+    Target("outside_burst_utilization", 0.055, 0.02, 0.12),
+    Target("rega_typical_lossy_pct", 1.05, 0.3, 2.5),
+    Target("rega_coloc_lossy_pct", 0.36, 0.05, 1.0),
+    Target("loss_inversion_ratio", 2.9, 1.3, 8.0),
+    Target("rega_typical_contended_pct", 70.9, 55.0, 90.0),
+    Target("rega_coloc_contended_pct", 100.0, 90.0, 100.0),
+)
+
+
+@dataclass
+class CalibrationReport:
+    """Measured statistics plus per-target verdicts."""
+
+    measured: dict[str, float]
+    failures: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = ["calibration report:"]
+        for target in PAPER_TARGETS:
+            value = self.measured.get(target.name, float("nan"))
+            status = "ok " if target.holds(value) else "OUT"
+            lines.append(
+                f"  [{status}] {target.name}: measured {value:.3g} "
+                f"(paper {target.paper_value:g}, band {target.low:g}-{target.high:g})"
+            )
+        return "\n".join(lines)
+
+
+def measure(racks: int = 20, hour: int = 6, seed: int = 7) -> dict[str, float]:
+    """Synthesize a busy-hour RegA slice and compute the calibration
+    statistics (RegB enters only through the loss-inversion targets'
+    generality; RegA carries both rack classes)."""
+    if racks < 6:
+        raise AnalysisError("calibration needs enough racks for both classes")
+    rng = np.random.default_rng(seed)
+    synthesizer = RackRunSynthesizer()
+    workloads = build_region_workloads(REGION_A, racks=racks, rng=rng)
+
+    lengths: list[float] = []
+    volumes: list[float] = []
+    conn_ratios: list[float] = []
+    outside_util: list[float] = []
+    bursty = 0
+    server_runs = 0
+    class_counts = {True: [0, 0, 0], False: [0, 0, 0]}  # bursts, contended, lossy
+
+    for workload in workloads:
+        sync_run = synthesizer.synthesize(workload, hour, rng)
+        summary = summarize_run(sync_run)
+        entry = class_counts[workload.colocated]
+        for burst in summary.bursts:
+            entry[0] += 1
+            entry[1] += int(burst.contended)
+            entry[2] += int(burst.lossy)
+            lengths.append(burst.length)
+            volumes.append(burst.volume)
+        for stat in summary.server_stats:
+            server_runs += 1
+            if stat.bursty:
+                bursty += 1
+                if np.isfinite(stat.utilization_outside_bursts):
+                    outside_util.append(stat.utilization_outside_bursts)
+                if (
+                    np.isfinite(stat.conns_inside)
+                    and np.isfinite(stat.conns_outside)
+                    and stat.conns_outside > 0
+                ):
+                    conn_ratios.append(stat.conns_inside / stat.conns_outside)
+
+    spread = class_counts[False]
+    coloc = class_counts[True]
+    spread_lossy = spread[2] / spread[0] * 100 if spread[0] else 0.0
+    coloc_lossy = coloc[2] / coloc[0] * 100 if coloc[0] else 0.0
+    return {
+        "bursty_server_run_fraction": bursty / server_runs if server_runs else 0.0,
+        "median_burst_length_ms": float(np.median(lengths)) if lengths else 0.0,
+        "median_burst_volume_mb": float(np.median(volumes)) / 1e6 if volumes else 0.0,
+        "conn_ratio_inside_outside": float(np.median(conn_ratios)) if conn_ratios else 0.0,
+        "outside_burst_utilization": float(np.median(outside_util)) if outside_util else 0.0,
+        "rega_typical_lossy_pct": spread_lossy,
+        "rega_coloc_lossy_pct": coloc_lossy,
+        "loss_inversion_ratio": spread_lossy / coloc_lossy if coloc_lossy else float("inf"),
+        "rega_typical_contended_pct": spread[1] / spread[0] * 100 if spread[0] else 0.0,
+        "rega_coloc_contended_pct": coloc[1] / coloc[0] * 100 if coloc[0] else 0.0,
+    }
+
+
+def check(racks: int = 20, hour: int = 6, seed: int = 7) -> CalibrationReport:
+    """Measure and compare against every target."""
+    measured = measure(racks=racks, hour=hour, seed=seed)
+    failures = [
+        target.name
+        for target in PAPER_TARGETS
+        if not target.holds(measured.get(target.name, float("nan")))
+    ]
+    return CalibrationReport(measured=measured, failures=failures)

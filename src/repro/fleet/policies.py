@@ -1,0 +1,164 @@
+"""Alternative buffer-sharing policies (Section 10 related work).
+
+The paper motivates its measurement by the design space of buffer
+sharing algorithms and closes by arguing that "our work can inform the
+design of such buffer sharing algorithms".  This module implements the
+policies the related-work section cites, as drop-in threshold rules
+for the fluid buffer model, so the paper's own dataset synthesis can
+ablate them:
+
+* :class:`DynamicThresholdPolicy` — Choudhury-Hahne (deployed baseline):
+  ``T = alpha * (B - Q)``.
+* :class:`StaticPartitionPolicy` — each queue owns ``B / N`` outright.
+* :class:`CompleteSharingPolicy` — no per-queue limit; first come,
+  first buffered (maximal absorption, no isolation).
+* :class:`EnhancedDynamicThresholdPolicy` — Shan et al. (INFOCOM 2015):
+  relax the fairness constraint for short excursions so microbursts
+  can use the free buffer, by granting every queue a floor of the
+  current free space on top of the DT limit.
+* :class:`FlowAwareThresholdPolicy` — FAB (Apostolaki et al.): a higher
+  alpha for short/bursty ("mice") queues, lower for long-running
+  ("elephant") queues, keyed by how long the queue has been active.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class SharingPolicy:
+    """Per-step threshold rule for the fluid buffer model.
+
+    Implementations return, per server queue, the maximum occupancy the
+    queue may hold at the end of the step (on top of which the model
+    adds the per-queue dedicated allocation).
+    """
+
+    name = "abstract"
+
+    def limits(
+        self,
+        shared_total: float,
+        pool_used: np.ndarray,
+        quadrant: np.ndarray,
+        queue_shared_used: np.ndarray,
+        active_steps: np.ndarray,
+    ) -> np.ndarray:
+        """Per-queue shared-occupancy limit for this step.
+
+        ``pool_used`` is the per-quadrant shared occupancy; ``quadrant``
+        maps servers to quadrants; ``queue_shared_used`` is each queue's
+        current shared occupancy; ``active_steps`` counts consecutive
+        steps each queue has been non-empty (the mice/elephant signal).
+        """
+        raise NotImplementedError
+
+
+class DynamicThresholdPolicy(SharingPolicy):
+    """The deployed baseline: T = alpha * (B - Q)."""
+
+    name = "dynamic-threshold"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise SimulationError("alpha must be positive")
+        self.alpha = alpha
+
+    def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
+        free = np.maximum(shared_total - pool_used, 0.0)
+        return self.alpha * free[quadrant]
+
+
+class StaticPartitionPolicy(SharingPolicy):
+    """Hard partitioning: every queue owns an equal slice."""
+
+    name = "static-partition"
+
+    def __init__(self, queues_per_quadrant: int) -> None:
+        if queues_per_quadrant <= 0:
+            raise SimulationError("need at least one queue per quadrant")
+        self.queues_per_quadrant = queues_per_quadrant
+
+    def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
+        slice_bytes = shared_total / self.queues_per_quadrant
+        return np.full(len(quadrant), slice_bytes)
+
+
+class CompleteSharingPolicy(SharingPolicy):
+    """No per-queue limit: admit until the pool is physically full."""
+
+    name = "complete-sharing"
+
+    def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
+        return np.full(len(quadrant), shared_total)
+
+
+class EnhancedDynamicThresholdPolicy(SharingPolicy):
+    """EDT-style burst absorption (Shan et al.).
+
+    On top of the DT limit, every queue may always reach a fraction of
+    the *currently free* pool — letting a microburst use idle buffer
+    even when its DT share is small, while long-term fairness is still
+    anchored by the DT term.
+    """
+
+    name = "enhanced-dt"
+
+    def __init__(self, alpha: float = 1.0, burst_fraction: float = 0.5) -> None:
+        if alpha <= 0 or not 0 <= burst_fraction <= 1:
+            raise SimulationError("invalid EDT parameters")
+        self.alpha = alpha
+        self.burst_fraction = burst_fraction
+
+    def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
+        free = np.maximum(shared_total - pool_used, 0.0)[quadrant]
+        dt_limit = self.alpha * free
+        burst_floor = queue_shared_used + self.burst_fraction * free
+        return np.maximum(dt_limit, burst_floor)
+
+
+class FlowAwareThresholdPolicy(SharingPolicy):
+    """FAB-style class-dependent alpha (Apostolaki et al.).
+
+    Queues that have been continuously active for less than
+    ``mice_steps`` get the high "mice" alpha (absorb their burst);
+    longer-running queues get the low "elephant" alpha (they are paced
+    by congestion control anyway and should not crowd the pool).
+    """
+
+    name = "flow-aware"
+
+    def __init__(
+        self,
+        mice_alpha: float = 4.0,
+        elephant_alpha: float = 0.5,
+        mice_steps: int = 4,
+    ) -> None:
+        if mice_alpha <= 0 or elephant_alpha <= 0:
+            raise SimulationError("alphas must be positive")
+        if mice_steps < 1:
+            raise SimulationError("mice window must be at least one step")
+        self.mice_alpha = mice_alpha
+        self.elephant_alpha = elephant_alpha
+        self.mice_steps = mice_steps
+
+    def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
+        free = np.maximum(shared_total - pool_used, 0.0)[quadrant]
+        alpha = np.where(
+            active_steps <= self.mice_steps, self.mice_alpha, self.elephant_alpha
+        )
+        return alpha * free
+
+
+#: Every policy the ablation bench sweeps, with paper-ish defaults.
+def standard_policies(queues_per_quadrant: int) -> list[SharingPolicy]:
+    """Every policy the ablation bench sweeps, with paper-ish defaults."""
+    return [
+        DynamicThresholdPolicy(alpha=1.0),
+        StaticPartitionPolicy(queues_per_quadrant),
+        CompleteSharingPolicy(),
+        EnhancedDynamicThresholdPolicy(alpha=1.0, burst_fraction=0.5),
+        FlowAwareThresholdPolicy(),
+    ]

@@ -1,0 +1,137 @@
+"""Synthesize SyncMillisampler rack runs from the fluid model.
+
+Output is byte-for-byte the same :class:`~repro.core.run.SyncRun`
+structure the packet-level pipeline produces, so the entire analysis
+stack is agnostic to which substrate generated the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..core.run import MillisamplerRun, RunMetadata, SyncRun
+from ..core.sketch import SATURATION_ESTIMATE, SKETCH_BITS
+from ..errors import SimulationError
+from ..workload.region import RackWorkload
+from .buffermodel import FluidBufferModel
+from .demand import DemandModel
+
+
+def sketch_estimates(true_counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Apply 128-bit-sketch estimation noise to true connection counts.
+
+    Each of ``n`` flows independently occupies one of 128 bits, so the
+    number of zero bits is approximately Binomial(128, (1-1/128)^n);
+    the linear-counting estimate is ``128 * ln(128 / zeros)``, and a
+    full bitmap reports the saturation value (Section 4.2: "precise up
+    to a dozen connections and saturates at around 500").
+    """
+    counts = np.asarray(true_counts, dtype=np.float64)
+    p_zero = (1.0 - 1.0 / SKETCH_BITS) ** counts
+    zeros = rng.binomial(SKETCH_BITS, p_zero)
+    estimates = np.where(
+        zeros == 0,
+        float(SATURATION_ESTIMATE),
+        SKETCH_BITS * np.log(SKETCH_BITS / np.maximum(zeros, 1)),
+    )
+    return estimates
+
+
+class RackRunSynthesizer:
+    """Generates :class:`SyncRun` objects for rack workloads."""
+
+    def __init__(
+        self,
+        demand_model: DemandModel | None = None,
+        sampling_interval: float = units.ANALYSIS_INTERVAL,
+        nominal_buckets: int = units.MILLISAMPLER_BUCKETS,
+        trimmed_buckets_mean: int = 1850,
+        trimmed_buckets_std: int = 40,
+        egress_echo: float = 0.18,
+    ) -> None:
+        if trimmed_buckets_mean <= 0:
+            raise SimulationError("run length must be positive")
+        self.demand_model = demand_model or DemandModel(step=sampling_interval)
+        self.sampling_interval = sampling_interval
+        self.nominal_buckets = nominal_buckets
+        self.trimmed_buckets_mean = trimmed_buckets_mean
+        self.trimmed_buckets_std = trimmed_buckets_std
+        self.egress_echo = egress_echo
+
+    def _run_length(self, rng: np.random.Generator) -> int:
+        """Post-trim run length (Section 5: average 1.85 s at 1 ms)."""
+        length = int(rng.normal(self.trimmed_buckets_mean, self.trimmed_buckets_std))
+        return int(np.clip(length, 100, self.nominal_buckets))
+
+    def synthesize(
+        self,
+        workload: RackWorkload,
+        hour: int,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        buckets: int | None = None,
+    ) -> SyncRun:
+        """One SyncMillisampler run for ``workload``'s rack at ``hour``."""
+        if not 0 <= hour < 24:
+            raise SimulationError("hour must be in [0, 24)")
+        buckets = buckets if buckets is not None else self._run_length(rng)
+        servers = workload.placement.servers
+        line_rate = workload.rack_config.server_link_rate
+
+        demand = self.demand_model.generate(workload, hour, buckets, rng)
+        fluid = FluidBufferModel(
+            servers=servers,
+            buffer_config=workload.rack_config.buffer,
+            line_rate=line_rate,
+            step=self.sampling_interval,
+        )
+        result = fluid.run(
+            demand.demand,
+            demand.persistence,
+            demand.initial_multiplier,
+            demand.initial_alpha,
+        )
+
+        conn = sketch_estimates(demand.connections, rng)
+        out_bytes = self.egress_echo * result.delivered * rng.lognormal(
+            mean=-0.05, sigma=0.3, size=result.delivered.shape
+        )
+
+        runs: list[MillisamplerRun] = []
+        for index in range(servers):
+            meta = RunMetadata(
+                host=f"{workload.rack}-s{index}",
+                rack=workload.rack,
+                region=workload.region,
+                task=workload.placement.tasks[index],
+                start_time=start_time,
+                sampling_interval=self.sampling_interval,
+                line_rate=line_rate,
+            )
+            runs.append(
+                MillisamplerRun(
+                    meta=meta,
+                    in_bytes=result.delivered[:, index].copy(),
+                    out_bytes=out_bytes[:, index].copy(),
+                    in_retx_bytes=result.delivered_retx[:, index].copy(),
+                    out_retx_bytes=np.zeros(buckets),
+                    in_ecn_bytes=result.ecn_marked[:, index].copy(),
+                    conn_estimate=conn[:, index].copy(),
+                )
+            )
+
+        return SyncRun(
+            rack=workload.rack,
+            region=workload.region,
+            runs=runs,
+            hour=hour,
+            switch_discard_bytes=result.total_dropped,
+            switch_ingress_bytes=float(demand.demand.sum()),
+            extras={
+                "colocated": workload.colocated,
+                "distinct_tasks": workload.placement.distinct_tasks(),
+                "dominant_share": workload.placement.dominant_share(),
+                "dominant_task": workload.placement.dominant_task(),
+            },
+        )

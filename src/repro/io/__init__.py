@@ -1,0 +1,33 @@
+"""Dataset import/export.
+
+The paper's authors released an anonymized Millisampler dataset; this
+package reads per-host record files in that style into the repo's
+:class:`~repro.core.run.MillisamplerRun` / :class:`~repro.core.run.SyncRun`
+model (so the whole Section 5-8 pipeline runs on real data), and
+exports synthetic region-days in the same format (so tooling built
+against the released data works on the synthesis).
+
+Field names in published datasets drift between releases; the reader
+takes a :class:`~repro.io.msdata.FieldMap` so any column naming can be
+adapted without code changes.
+"""
+
+from .msdata import (
+    DEFAULT_FIELD_MAP,
+    FieldMap,
+    load_rack_directory,
+    read_host_records,
+    record_from_run,
+    run_from_record,
+    write_sync_run,
+)
+
+__all__ = [
+    "DEFAULT_FIELD_MAP",
+    "FieldMap",
+    "load_rack_directory",
+    "read_host_records",
+    "record_from_run",
+    "run_from_record",
+    "write_sync_run",
+]

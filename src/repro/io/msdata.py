@@ -1,0 +1,223 @@
+"""Millisampler-dataset reader/writer.
+
+Record format: newline-delimited JSON (optionally gzip-compressed),
+one record per host run.  Each record carries identity fields plus
+parallel per-bucket arrays — the shape of the released Millisampler
+data.  A :class:`FieldMap` translates between this library's field
+names and whatever a given release calls them, so pointing the reader
+at real data is a configuration change, not a code change.
+
+The default map (and the writer's output) uses:
+
+```json
+{
+  "host": "h1", "rack": "r1", "region": "RegA", "task": "cache/7",
+  "timestamp": 1650000000.0, "interval_us": 1000, "line_rate_bps": 12.5e9,
+  "ingress_bytes":      [ ... per-bucket ... ],
+  "egress_bytes":       [ ... ],
+  "ingress_retx_bytes": [ ... ],
+  "egress_retx_bytes":  [ ... ],
+  "ingress_ecn_bytes":  [ ... ],
+  "connections":        [ ... ]
+}
+```
+"""
+
+from __future__ import annotations
+
+import glob
+import gzip
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.run import MillisamplerRun, RunMetadata, SyncRun
+from ..core.syncsampler import SyncMillisampler
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class FieldMap:
+    """Record-field names used by a particular dataset release."""
+
+    host: str = "host"
+    rack: str = "rack"
+    region: str = "region"
+    task: str = "task"
+    timestamp: str = "timestamp"
+    interval_us: str = "interval_us"
+    line_rate_bps: str = "line_rate_bps"
+    ingress_bytes: str = "ingress_bytes"
+    egress_bytes: str = "egress_bytes"
+    ingress_retx_bytes: str = "ingress_retx_bytes"
+    egress_retx_bytes: str = "egress_retx_bytes"
+    ingress_ecn_bytes: str = "ingress_ecn_bytes"
+    connections: str = "connections"
+    #: Fields tolerated as missing (filled with zeros on read).
+    optional: tuple[str, ...] = (
+        "egress_bytes",
+        "ingress_retx_bytes",
+        "egress_retx_bytes",
+        "ingress_ecn_bytes",
+        "connections",
+        "task",
+        "region",
+    )
+
+
+DEFAULT_FIELD_MAP = FieldMap()
+
+
+def run_from_record(record: dict, fields: FieldMap = DEFAULT_FIELD_MAP) -> MillisamplerRun:
+    """Build a :class:`MillisamplerRun` from one dataset record."""
+    def require(name: str):
+        key = getattr(fields, name)
+        if key in record:
+            return record[key]
+        if name in fields.optional:
+            return None
+        raise StorageError(f"record missing required field {key!r}")
+
+    ingress = require("ingress_bytes")
+    if ingress is None:
+        raise StorageError("record has no ingress series")
+    buckets = len(ingress)
+
+    def series(name: str) -> np.ndarray:
+        values = require(name)
+        if values is None:
+            return np.zeros(buckets)
+        array = np.asarray(values, dtype=np.float64)
+        if len(array) != buckets:
+            raise StorageError(
+                f"series {getattr(fields, name)!r} length {len(array)} != "
+                f"ingress length {buckets}"
+            )
+        return array
+
+    interval_us = require("interval_us")
+    if interval_us is None or interval_us <= 0:
+        raise StorageError("record needs a positive sampling interval")
+    meta = RunMetadata(
+        host=str(require("host")),
+        rack=str(record.get(fields.rack, "")),
+        region=str(record.get(fields.region, "") or ""),
+        task=str(record.get(fields.task, "") or ""),
+        start_time=float(record.get(fields.timestamp, 0.0)),
+        sampling_interval=float(interval_us) * 1e-6,
+        line_rate=float(record.get(fields.line_rate_bps, 12.5e9)) / 8.0,
+    )
+    return MillisamplerRun(
+        meta=meta,
+        in_bytes=np.asarray(ingress, dtype=np.float64),
+        out_bytes=series("egress_bytes"),
+        in_retx_bytes=series("ingress_retx_bytes"),
+        out_retx_bytes=series("egress_retx_bytes"),
+        in_ecn_bytes=series("ingress_ecn_bytes"),
+        conn_estimate=series("connections"),
+    )
+
+
+def record_from_run(run: MillisamplerRun, fields: FieldMap = DEFAULT_FIELD_MAP) -> dict:
+    """Serialize a run into the dataset record shape."""
+    return {
+        fields.host: run.meta.host,
+        fields.rack: run.meta.rack,
+        fields.region: run.meta.region,
+        fields.task: run.meta.task,
+        fields.timestamp: run.meta.start_time,
+        fields.interval_us: run.meta.sampling_interval * 1e6,
+        fields.line_rate_bps: run.meta.line_rate * 8.0,
+        fields.ingress_bytes: run.in_bytes.tolist(),
+        fields.egress_bytes: run.out_bytes.tolist(),
+        fields.ingress_retx_bytes: run.in_retx_bytes.tolist(),
+        fields.egress_retx_bytes: run.out_retx_bytes.tolist(),
+        fields.ingress_ecn_bytes: run.in_ecn_bytes.tolist(),
+        fields.connections: run.conn_estimate.tolist(),
+    }
+
+
+def _open_maybe_gzip(path: str, mode: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def read_host_records(
+    path: str, fields: FieldMap = DEFAULT_FIELD_MAP
+) -> list[MillisamplerRun]:
+    """Read one NDJSON(.gz) file of host records."""
+    runs: list[MillisamplerRun] = []
+    try:
+        with _open_maybe_gzip(path, "r") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StorageError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                runs.append(run_from_record(record, fields))
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    return runs
+
+
+def write_sync_run(
+    sync_run: SyncRun,
+    directory: str,
+    fields: FieldMap = DEFAULT_FIELD_MAP,
+    compress: bool = True,
+) -> str:
+    """Write a rack run as one NDJSON(.gz) file; returns the path.
+
+    File naming is ``<rack>__h<hour>.ndjson[.gz]`` so a directory holds
+    a full region-day.
+    """
+    os.makedirs(directory, exist_ok=True)
+    suffix = ".ndjson.gz" if compress else ".ndjson"
+    path = os.path.join(directory, f"{sync_run.rack}__h{sync_run.hour:02d}{suffix}")
+    with _open_maybe_gzip(path, "w") as handle:
+        for run in sync_run.runs:
+            handle.write(json.dumps(record_from_run(run, fields)) + "\n")
+    return path
+
+
+def load_rack_directory(
+    directory: str,
+    fields: FieldMap = DEFAULT_FIELD_MAP,
+    pattern: str = "*.ndjson*",
+) -> list[SyncRun]:
+    """Load every rack-run file in a directory into aligned SyncRuns.
+
+    Each file is treated as one rack collection: its host runs are
+    trimmed and interpolated onto a common base exactly like live
+    SyncMillisampler output, so real released data flows through the
+    identical pipeline.
+    """
+    paths = sorted(glob.glob(os.path.join(directory, pattern)))
+    if not paths:
+        raise StorageError(f"no dataset files matching {pattern!r} in {directory}")
+    sync_runs: list[SyncRun] = []
+    for path in paths:
+        runs = read_host_records(path, fields)
+        if not runs:
+            continue
+        name = os.path.basename(path)
+        hour = 0
+        if "__h" in name:
+            try:
+                hour = int(name.split("__h")[1][:2])
+            except ValueError:
+                hour = 0
+        rack = runs[0].meta.rack or name.split("__")[0]
+        region = runs[0].meta.region
+        sync_runs.append(
+            SyncMillisampler.assemble_from_runs(rack, region, runs, hour=hour)
+        )
+    return sync_runs

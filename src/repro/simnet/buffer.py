@@ -1,0 +1,162 @@
+"""Shared-memory switch buffer with dynamic-threshold sharing.
+
+Section 2.1: the buffer is shared across all interfaces; each queue's
+instantaneous limit follows Choudhury-Hahne dynamic thresholds:
+
+    T(t) = alpha * (B - Q(t))
+
+where ``B`` is the shared buffer size and ``Q(t)`` the current total
+shared occupancy.  With ``S`` queues simultaneously at their limit, the
+fixed point is ``T = alpha*B / (1 + alpha*S)`` — Figure 1.
+
+This class models **one quadrant** of the ToR buffer (Section 3: the
+16 MB buffer is divided into four 4 MB quadrants; an egress queue maps
+to a single quadrant).  Each queue additionally has a small dedicated
+allocation it consumes before touching the shared pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BufferConfig
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BufferAdmission:
+    """Outcome of offering a packet to the buffer."""
+
+    accepted: bool
+    #: Bytes charged against the queue's dedicated allocation.
+    dedicated_bytes: int = 0
+    #: Bytes charged against the shared pool.
+    shared_bytes: int = 0
+    #: Human-readable reason when rejected.
+    reason: str = ""
+
+
+@dataclass
+class _QueueState:
+    dedicated_used: int = 0
+    shared_used: int = 0
+    discarded_packets: int = 0
+    discarded_bytes: int = 0
+    admitted_bytes: int = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.dedicated_used + self.shared_used
+
+
+class SharedBuffer:
+    """One dynamically shared buffer pool (a ToR quadrant)."""
+
+    def __init__(self, config: BufferConfig | None = None) -> None:
+        self.config = config or BufferConfig()
+        self._queues: dict[str, _QueueState] = {}
+        self._shared_occupancy = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register_queue(self, queue_id: str) -> None:
+        if queue_id in self._queues:
+            raise SimulationError(f"queue {queue_id!r} already registered")
+        self._queues[queue_id] = _QueueState()
+
+    def _state(self, queue_id: str) -> _QueueState:
+        try:
+            return self._queues[queue_id]
+        except KeyError:
+            raise SimulationError(f"unknown queue {queue_id!r}") from None
+
+    # -- dynamic threshold ---------------------------------------------------
+
+    @property
+    def shared_occupancy(self) -> int:
+        """Q(t): bytes currently drawn from the shared pool."""
+        return self._shared_occupancy
+
+    def threshold(self) -> float:
+        """T(t) = alpha * (B - Q(t)): the instantaneous per-queue limit on
+        shared-pool usage."""
+        free = self.config.shared_bytes - self._shared_occupancy
+        return self.config.alpha * max(free, 0.0)
+
+    def active_queues(self) -> int:
+        """Queues currently holding any buffered bytes."""
+        return sum(1 for state in self._queues.values() if state.occupancy > 0)
+
+    def queue_occupancy(self, queue_id: str) -> int:
+        return self._state(queue_id).occupancy
+
+    # -- admission / release --------------------------------------------------
+
+    def admit(self, queue_id: str, size: int) -> BufferAdmission:
+        """Offer a packet of ``size`` bytes to ``queue_id``.
+
+        Admission is atomic: dedicated space is consumed first; the
+        remainder must fit under the queue's dynamic threshold *and* in
+        the remaining shared pool, else the whole packet is discarded.
+        """
+        if size <= 0:
+            raise SimulationError("packet size must be positive")
+        state = self._state(queue_id)
+
+        dedicated_free = int(self.config.dedicated_bytes_per_queue) - state.dedicated_used
+        from_dedicated = min(size, max(dedicated_free, 0))
+        from_shared = size - from_dedicated
+
+        if from_shared > 0:
+            threshold = self.threshold()
+            pool_free = self.config.shared_bytes - self._shared_occupancy
+            if state.shared_used + from_shared > threshold:
+                state.discarded_packets += 1
+                state.discarded_bytes += size
+                return BufferAdmission(
+                    False, reason=f"over dynamic threshold ({threshold:.0f}B)"
+                )
+            if from_shared > pool_free:
+                state.discarded_packets += 1
+                state.discarded_bytes += size
+                return BufferAdmission(False, reason="shared pool exhausted")
+
+        state.dedicated_used += from_dedicated
+        state.shared_used += from_shared
+        state.admitted_bytes += size
+        self._shared_occupancy += from_shared
+        return BufferAdmission(True, dedicated_bytes=from_dedicated, shared_bytes=from_shared)
+
+    def release(self, queue_id: str, admission: BufferAdmission) -> None:
+        """Return a previously admitted packet's bytes to the buffer."""
+        if not admission.accepted:
+            raise SimulationError("cannot release a rejected admission")
+        state = self._state(queue_id)
+        if (
+            state.dedicated_used < admission.dedicated_bytes
+            or state.shared_used < admission.shared_bytes
+        ):
+            raise SimulationError(f"double release on queue {queue_id!r}")
+        state.dedicated_used -= admission.dedicated_bytes
+        state.shared_used -= admission.shared_bytes
+        self._shared_occupancy -= admission.shared_bytes
+
+    # -- accounting -----------------------------------------------------------
+
+    def discards(self, queue_id: str) -> tuple[int, int]:
+        """(packets, bytes) discarded on ``queue_id`` so far."""
+        state = self._state(queue_id)
+        return state.discarded_packets, state.discarded_bytes
+
+    def total_discard_bytes(self) -> int:
+        return sum(state.discarded_bytes for state in self._queues.values())
+
+    def total_admitted_bytes(self) -> int:
+        return sum(state.admitted_bytes for state in self._queues.values())
+
+    def reset_counters(self) -> None:
+        """Zero discard/admission counters (per-minute counter rollover)."""
+        for state in self._queues.values():
+            state.discarded_packets = 0
+            state.discarded_bytes = 0
+            state.admitted_bytes = 0

@@ -1,0 +1,90 @@
+"""Simulated host: NIC, tap chain, packet demux, and an uplink to the ToR.
+
+The host is where Millisampler lives.  Every delivered packet (already
+GRO-coalesced, per Section 4.6) runs through the ingress tap chain;
+every transmitted segment runs through the egress tap chain before
+segmentation offload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .. import units
+from ..core.millisampler import Direction
+from ..errors import SimulationError
+from .clock import HostClock
+from .engine import Engine
+from .link import Link
+from .nic import Nic
+from .packet import FlowKey, Packet
+from .tap import TapChain
+
+
+class Host:
+    """One rack server."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        clock: HostClock | None = None,
+        link_rate: float = units.SERVER_LINK_RATE,
+        propagation_delay: float = 1e-6,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.clock = clock or HostClock()
+        self.nic = Nic()
+        self.taps = TapChain()
+        self.uplink = Link(engine, link_rate, propagation_delay, name=f"{name}->tor")
+        self._forward: Callable[[Packet], None] | None = None
+        #: Flow-directed handlers (TCP endpoints register here).
+        self._flow_handlers: dict[tuple, Callable[[Packet], None]] = {}
+        #: Fallback application handler for unclaimed packets.
+        self.default_handler: Callable[[Packet], None] | None = None
+        self.received_bytes = 0
+        self.sent_bytes = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(self, forward: Callable[[Packet], None]) -> None:
+        """Point the uplink at the ToR's forwarding entry point."""
+        self._forward = forward
+
+    def register_flow(self, flow: FlowKey, handler: Callable[[Packet], None]) -> None:
+        key = flow.as_tuple()
+        if key in self._flow_handlers:
+            raise SimulationError(f"flow {key} already registered on {self.name}")
+        self._flow_handlers[key] = handler
+
+    def unregister_flow(self, flow: FlowKey) -> None:
+        self._flow_handlers.pop(flow.as_tuple(), None)
+
+    # -- data path --------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a segment: egress taps (pre-TSO view), then the uplink."""
+        if self._forward is None:
+            raise SimulationError(f"host {self.name} is not connected to a switch")
+        if packet.src != self.name:
+            raise SimulationError(f"host {self.name} cannot send packet from {packet.src}")
+        self.taps.dispatch(packet, Direction.EGRESS, self.engine.now)
+        self.sent_bytes += packet.size
+        self.uplink.transmit(packet, self._forward)
+
+    def deliver(self, packet: Packet) -> None:
+        """Receive a packet from the ToR: ingress taps, then demux."""
+        self.taps.dispatch(packet, Direction.INGRESS, self.engine.now)
+        self.received_bytes += packet.size
+        handler = self._flow_handlers.get(packet.flow.as_tuple())
+        if handler is not None:
+            handler(packet)
+        elif self.default_handler is not None:
+            self.default_handler(packet)
+
+    # -- convenience --------------------------------------------------------------
+
+    def host_time(self) -> float:
+        """This host's (possibly skewed) clock reading."""
+        return self.clock.read(self.engine.now)

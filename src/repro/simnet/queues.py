@@ -1,0 +1,83 @@
+"""Egress queue: FIFO drain of buffered packets onto a server link.
+
+Each server behind the ToR maps to one egress queue (Section 2.1.2);
+the queue holds admitted packets (their buffer bytes stay charged until
+dequeue) and drains at the server link rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..errors import SimulationError
+from .buffer import BufferAdmission, SharedBuffer
+from .engine import Engine
+from .packet import Packet
+
+
+class EgressQueue:
+    """One ToR egress queue draining to a server at ``rate`` bytes/s."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        buffer: SharedBuffer,
+        queue_id: str,
+        rate: float,
+        on_dequeue: Callable[[Packet], None],
+        propagation_delay: float = 1e-6,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError("drain rate must be positive")
+        self.engine = engine
+        self.buffer = buffer
+        self.queue_id = queue_id
+        self.rate = rate
+        self.on_dequeue = on_dequeue
+        self.propagation_delay = propagation_delay
+        self.buffer.register_queue(queue_id)
+        self._fifo: deque[tuple[Packet, BufferAdmission]] = deque()
+        self._draining = False
+        self.dequeued_bytes = 0
+        self.dequeued_packets = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def occupancy(self) -> int:
+        """Buffered bytes currently charged to this queue."""
+        return self.buffer.queue_occupancy(self.queue_id)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet; returns False (and counts a discard) when the
+        buffer refuses it."""
+        admission = self.buffer.admit(self.queue_id, packet.size)
+        if not admission.accepted:
+            return False
+        packet.enqueued_at = self.engine.now
+        self._fifo.append((packet, admission))
+        if not self._draining:
+            self._draining = True
+            self._drain_next()
+        return True
+
+    def _drain_next(self) -> None:
+        if not self._fifo:
+            self._draining = False
+            return
+        packet, admission = self._fifo[0]
+        serialization = packet.size / self.rate
+        self.engine.after(serialization, lambda: self._finish_dequeue(packet, admission))
+
+    def _finish_dequeue(self, packet: Packet, admission: BufferAdmission) -> None:
+        head, head_admission = self._fifo.popleft()
+        if head is not packet or head_admission is not admission:
+            raise SimulationError("egress queue drained out of order")
+        self.buffer.release(self.queue_id, admission)
+        self.dequeued_bytes += packet.size
+        self.dequeued_packets += 1
+        # Deliver after propagation; keep draining immediately.
+        self.engine.after(self.propagation_delay, lambda: self.on_dequeue(packet))
+        self._drain_next()

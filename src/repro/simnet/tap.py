@@ -1,0 +1,77 @@
+"""The tc-like tap chain on simulated hosts.
+
+A tap is "among the first programmable steps on the receipt of a packet
+and near the last step on transmission" (Section 4.1).  Hosts run every
+ingress packet (post-GRO) and egress packet (pre-TSO) through their tap
+chain; Millisampler attaches here via :class:`MillisamplerTap`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..core.millisampler import Direction, Millisampler, PacketObservation
+from .clock import HostClock
+from .packet import Packet
+
+
+class PacketTap(Protocol):
+    """Anything attachable to a host's tap chain."""
+
+    def on_packet(self, packet: Packet, direction: Direction, now: float) -> None:
+        """Observe one packet; ``now`` is true simulator time."""
+        ...  # pragma: no cover
+
+
+class TapChain:
+    """Ordered list of taps a host runs per packet."""
+
+    def __init__(self) -> None:
+        self._taps: list[PacketTap] = []
+
+    def attach(self, tap: PacketTap) -> None:
+        if tap in self._taps:
+            raise ValueError("tap already attached")
+        self._taps.append(tap)
+
+    def detach(self, tap: PacketTap) -> None:
+        self._taps.remove(tap)
+
+    def __len__(self) -> int:
+        return len(self._taps)
+
+    def dispatch(self, packet: Packet, direction: Direction, now: float) -> None:
+        for tap in self._taps:
+            tap.on_packet(packet, direction, now)
+
+
+def rss_cpu(packet: Packet, cpus: int) -> int:
+    """Receive-side-scaling CPU choice: flows hash to a consistent core,
+    matching how soft-irq processing lands on many CPUs."""
+    return hash(packet.flow.as_tuple()) % cpus
+
+
+class MillisamplerTap:
+    """Adapter feeding simulator packets into a :class:`Millisampler`.
+
+    Timestamps come from the *host clock*, not true time — clock offsets
+    are exactly what the Section 4.5 validation is about.
+    """
+
+    def __init__(self, sampler: Millisampler, clock: HostClock | None = None) -> None:
+        self.sampler = sampler
+        self.clock = clock or HostClock()
+
+    def on_packet(self, packet: Packet, direction: Direction, now: float) -> None:
+        if self.sampler.state.value == "detached":
+            return
+        observation = PacketObservation(
+            time=self.clock.read(now),
+            direction=direction,
+            size=packet.size,
+            flow_key=packet.flow.as_tuple(),
+            cpu=rss_cpu(packet, self.sampler.cpus),
+            ecn_marked=packet.ecn_ce,
+            retransmit=packet.retransmit,
+        )
+        self.sampler.observe(observation)

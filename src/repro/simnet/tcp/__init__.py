@@ -1,0 +1,22 @@
+"""TCP endpoints for the simulator.
+
+In-region Meta traffic runs DCTCP; the smaller inter-region share runs
+Cubic (Section 3).  Both are provided, built on a common reliable
+transport (:mod:`repro.simnet.tcp.base`) with cumulative ACKs, fast
+retransmit, retransmission timeouts, and the Meta retransmit-label bit
+that Millisampler counts.
+"""
+
+from .base import CongestionControl, RenoControl, TcpReceiver, TcpSender, open_connection
+from .cubic import CubicControl
+from .dctcp import DctcpControl
+
+__all__ = [
+    "CongestionControl",
+    "RenoControl",
+    "TcpReceiver",
+    "TcpSender",
+    "open_connection",
+    "CubicControl",
+    "DctcpControl",
+]

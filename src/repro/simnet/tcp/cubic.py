@@ -1,0 +1,62 @@
+"""CUBIC congestion control (Ha, Rhee, Xu 2008).
+
+The smaller inter-region share of Meta traffic runs Cubic (Section 3).
+Window growth follows the cubic function of time since the last loss::
+
+    W(t) = C * (t - K)^3 + W_max,   K = cbrt(W_max * beta_decrement / C)
+
+with multiplicative decrease to ``beta * W_max`` on loss.  Cubic
+ignores ECN echoes (it predates DCTCP-style marking), which is why
+inter-region traffic cannot benefit from the ToR ECN deployment.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+#: Standard CUBIC constants.
+CUBIC_C = 0.4  # in (segments/sec^3); we scale by MSS for byte windows
+CUBIC_BETA = 0.7
+
+
+class CubicControl(CongestionControl):
+    """CUBIC window management (byte-based)."""
+
+    def __init__(self, mss: int, initial_cwnd_segments: int = 10) -> None:
+        super().__init__(mss, initial_cwnd_segments)
+        self._w_max = self.cwnd
+        self._epoch_start: float | None = None
+        self._k = 0.0
+
+    def _cubic_window(self, elapsed: float) -> float:
+        segments = CUBIC_C * (elapsed - self._k) ** 3 + self._w_max / self.mss
+        return segments * self.mss
+
+    def on_ack(self, acked_bytes: int, ecn_echo: bool, now: float, rtt: float) -> None:
+        # Cubic does not react to ECN echoes.
+        if self.cwnd < self.ssthresh:
+            self.cwnd += acked_bytes
+            return
+        if self._epoch_start is None:
+            self._epoch_start = now
+            w_max_segments = self._w_max / self.mss
+            cwnd_segments = self.cwnd / self.mss
+            delta = max(w_max_segments - cwnd_segments, 0.0) / CUBIC_C
+            self._k = delta ** (1.0 / 3.0)
+        target = self._cubic_window(now - self._epoch_start + rtt)
+        if target > self.cwnd:
+            # Approach the cubic target over one RTT.
+            self.cwnd += (target - self.cwnd) * acked_bytes / max(self.cwnd, self.mss)
+        else:
+            self.cwnd += 0.01 * acked_bytes  # TCP-friendly minimal growth
+
+    def on_fast_retransmit(self, now: float) -> None:
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * CUBIC_BETA, float(self.mss))
+        self.ssthresh = self.cwnd
+        self._epoch_start = None
+
+    def on_timeout(self, now: float) -> None:
+        self._w_max = self.cwnd
+        super().on_timeout(now)
+        self._epoch_start = None

@@ -1,0 +1,74 @@
+"""DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+In-region Meta traffic runs DCTCP (Section 3).  The sender maintains an
+EWMA of the fraction of ECN-marked bytes per window::
+
+    alpha <- (1 - g) * alpha + g * F
+
+and, once per window that contained marks, scales the window by
+``cwnd * (1 - alpha / 2)``.  Because marks arrive only once queues pass
+the 120 KB static threshold, DCTCP "struggles to react to short bursts
+that span less than a few RTTs" — the mechanism behind the paper's
+loss-vs-burst-length findings (Section 8.2).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+
+class DctcpControl(CongestionControl):
+    """DCTCP window management."""
+
+    def __init__(
+        self,
+        mss: int,
+        initial_cwnd_segments: int = 10,
+        gain: float = 1.0 / 16.0,
+    ) -> None:
+        super().__init__(mss, initial_cwnd_segments)
+        if not 0 < gain <= 1:
+            raise ValueError("DCTCP gain must be in (0, 1]")
+        self.gain = gain
+        self.alpha = 0.0
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end_bytes = self.cwnd  # bytes of ACKs closing this window
+
+    def on_ack(self, acked_bytes: int, ecn_echo: bool, now: float, rtt: float) -> None:
+        self._window_acked += acked_bytes
+        if ecn_echo:
+            self._window_marked += acked_bytes
+
+        if self._window_acked >= self._window_end_bytes:
+            self._end_window()
+        elif self.cwnd < self.ssthresh and not ecn_echo:
+            self.cwnd += acked_bytes  # slow start
+        elif not ecn_echo:
+            self.cwnd += self.mss * acked_bytes / self.cwnd  # additive increase
+
+    def _end_window(self) -> None:
+        fraction = (
+            self._window_marked / self._window_acked if self._window_acked > 0 else 0.0
+        )
+        self.alpha = (1.0 - self.gain) * self.alpha + self.gain * fraction
+        if self._window_marked > 0:
+            # Proportional decrease, once per marked window.
+            self.cwnd *= 1.0 - self.alpha / 2.0
+            self.ssthresh = self.cwnd
+            self._floor()
+        else:
+            # Unmarked window: normal growth continues.
+            if self.cwnd < self.ssthresh:
+                self.cwnd += self._window_acked
+            else:
+                self.cwnd += self.mss
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end_bytes = max(self.cwnd, float(self.mss))
+
+    def on_fast_retransmit(self, now: float) -> None:
+        # DCTCP falls back to standard halving on actual loss.
+        self.ssthresh = max(self.cwnd / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+        self._floor()

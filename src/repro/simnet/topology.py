@@ -1,0 +1,132 @@
+"""Rack topology builder: hosts, ToR, clocks, and sampling stacks.
+
+Assembles the pieces into the unit every packet-level experiment uses:
+a rack of servers behind one shared-buffer ToR, each host carrying a
+Millisampler in its tap chain and an NTP-disciplined clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import units
+from ..config import RackConfig, SamplerConfig
+from ..core.millisampler import Millisampler
+from ..core.run import RunMetadata
+from ..core.scheduler import RunScheduler
+from ..core.storage import HostRunStore
+from ..core.syncsampler import SampledHost
+from ..errors import SimulationError
+from .clock import NtpDiscipline
+from .engine import Engine
+from .host import Host
+from .switch import ToRSwitch
+from .tap import MillisamplerTap
+
+
+@dataclass
+class Rack:
+    """A fully wired rack: engine, ToR, hosts, and per-host sampling."""
+
+    name: str
+    engine: Engine
+    switch: ToRSwitch
+    hosts: list[Host]
+    sampled_hosts: list[SampledHost] = field(default_factory=list)
+
+    def host_by_name(self, name: str) -> Host:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise SimulationError(f"no host {name!r} in rack {self.name}")
+
+    def sampled_host_by_name(self, name: str) -> SampledHost:
+        for sampled in self.sampled_hosts:
+            if sampled.name == name:
+                return sampled
+        raise SimulationError(f"no sampled host {name!r} in rack {self.name}")
+
+    def poll_samplers(self) -> None:
+        """Tick every host's user-space sampler agent at the current time."""
+        now = self.engine.now
+        for sampled in self.sampled_hosts:
+            sampled.poll(now)
+
+
+def build_rack(
+    name: str = "rack0",
+    servers: int = 8,
+    rack_config: RackConfig | None = None,
+    sampler_config: SamplerConfig | None = None,
+    engine: Engine | None = None,
+    clock_discipline: NtpDiscipline | None = None,
+    sampler_period: float = 60.0,
+    region: str = "RegA",
+    rng: np.random.Generator | None = None,
+) -> Rack:
+    """Build a rack of ``servers`` hosts behind one shared-buffer ToR.
+
+    Every host gets an NTP-disciplined clock (sub-millisecond offsets),
+    a Millisampler attached to its tap chain, a periodic run scheduler,
+    and a host-local run store — the full Section 4 stack.
+    """
+    if servers <= 0:
+        raise SimulationError("rack needs at least one server")
+    rack_config = rack_config or RackConfig()
+    sampler_config = sampler_config or SamplerConfig()
+    engine = engine or Engine()
+    rng = rng or np.random.default_rng(0)
+    discipline = clock_discipline or NtpDiscipline(rng=rng)
+
+    switch = ToRSwitch(engine, buffer_config=rack_config.buffer)
+    hosts: list[Host] = []
+    sampled_hosts: list[SampledHost] = []
+
+    for index in range(servers):
+        host_name = f"{name}-s{index}"
+        clock = discipline.make_clock()
+        host = Host(
+            engine,
+            host_name,
+            clock=clock,
+            link_rate=rack_config.server_link_rate,
+        )
+        switch.connect_server(
+            host_name, host.deliver, rate=rack_config.server_link_rate
+        )
+        host.connect(switch.forward)
+
+        meta = RunMetadata(
+            host=host_name,
+            rack=name,
+            region=region,
+            line_rate=rack_config.server_link_rate,
+        )
+        sampler = Millisampler(
+            meta,
+            sampling_interval=sampler_config.sampling_interval,
+            buckets=sampler_config.buckets,
+            cpus=sampler_config.cpus,
+            count_flows=sampler_config.count_flows,
+        )
+        host.taps.attach(MillisamplerTap(sampler, clock))
+        scheduler = RunScheduler(
+            period=sampler_period,
+            run_duration=sampler.duration,
+            first_start=rng.uniform(0, sampler_period),
+        )
+        store = HostRunStore(host_name)
+        sampled = SampledHost(sampler=sampler, scheduler=scheduler, store=store)
+
+        hosts.append(host)
+        sampled_hosts.append(sampled)
+
+    return Rack(
+        name=name,
+        engine=engine,
+        switch=switch,
+        hosts=hosts,
+        sampled_hosts=sampled_hosts,
+    )

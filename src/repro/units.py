@@ -1,0 +1,143 @@
+"""Units and conversions used throughout the reproduction.
+
+The simulator keeps time in **seconds** (float) and data in **bytes**
+(int or float, depending on whether the model is packet-level or fluid).
+Rates are **bytes per second**. These helpers make call sites read like
+the paper: ``gbps(12.5)``, ``mb(1.8)``, ``ms(3)``.
+
+The constants mirror Section 3 of the paper (the Meta rack profile the
+study focuses on) and Section 4/5 (Millisampler parameters).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: One microsecond, in seconds.
+USEC = 1e-6
+#: One millisecond, in seconds.
+MSEC = 1e-3
+#: One second.
+SEC = 1.0
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 3600.0
+#: One day, in seconds.
+DAY = 24 * HOUR
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * USEC
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MSEC
+
+
+def seconds_to_ms(value: float) -> float:
+    """Seconds to milliseconds."""
+    return value / MSEC
+
+
+# ---------------------------------------------------------------------------
+# Data volumes
+# ---------------------------------------------------------------------------
+
+#: Bytes in a kilobyte (binary, as buffer specs use).
+KB = 1024
+#: Bytes in a megabyte (binary).
+MB = 1024 * 1024
+
+
+def kb(value: float) -> float:
+    """Kilobytes to bytes."""
+    return value * KB
+
+
+def mb(value: float) -> float:
+    """Megabytes to bytes."""
+    return value * MB
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bytes per second (decimal gigabits, as
+    link speeds are quoted)."""
+    return value * 1e9 / 8
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bytes per second."""
+    return value * 1e6 / 8
+
+
+def bytes_per_ms(rate_bps: float) -> float:
+    """Bytes transferable in one millisecond at ``rate_bps`` bytes/s."""
+    return rate_bps * MSEC
+
+
+def utilization(byte_count: float, interval_s: float, line_rate_bps: float) -> float:
+    """Fraction of line rate used by ``byte_count`` bytes over ``interval_s``."""
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    if line_rate_bps <= 0:
+        raise ValueError("line rate must be positive")
+    return byte_count / (interval_s * line_rate_bps)
+
+
+# ---------------------------------------------------------------------------
+# Paper constants (Section 3, 4, 5)
+# ---------------------------------------------------------------------------
+
+#: Per-server link rate: a 50 Gbps NIC shared by 4 servers (12.5 Gbps each).
+SERVER_LINK_RATE = gbps(12.5)
+
+#: ToR shared-memory buffer: 16 MB total.
+TOR_BUFFER_BYTES = mb(16)
+
+#: The 16 MB buffer is divided into four quadrants of 4 MB each.
+QUADRANT_BYTES = mb(4)
+NUM_QUADRANTS = 4
+
+#: Of each 4 MB quadrant, ~3.6 MB is dynamically shared; the rest is
+#: dedicated per-queue headroom.
+SHARED_QUADRANT_BYTES = mb(3.6)
+
+#: Dynamic-threshold alpha deployed fleet-wide.
+DEFAULT_ALPHA = 1.0
+
+#: Static ECN marking threshold deployed on all ToRs.
+ECN_THRESHOLD_BYTES = kb(120)
+
+#: Millisampler default: number of time buckets per run.
+MILLISAMPLER_BUCKETS = 2000
+
+#: Millisampler sampling intervals scheduled in production.
+SAMPLING_INTERVALS = (ms(10), ms(1), us(100))
+
+#: The sampling interval all analysis in the paper uses.
+ANALYSIS_INTERVAL = ms(1)
+
+#: Burst definition: samples exceeding this fraction of line rate.
+BURST_UTILIZATION_THRESHOLD = 0.5
+
+#: Typical servers per rack in the studied regions (Section 5).
+SERVERS_PER_RACK = 92
+
+#: Data-center RTT scale used for DCTCP feedback modelling.
+TYPICAL_RTT = us(100)
+
+#: MTU-sized packet on the wire.
+MTU_BYTES = 1500
+
+#: Maximum GSO/GRO super-segment the tc layer may observe (Section 4.6).
+GSO_MAX_BYTES = 64 * KB

@@ -1,0 +1,22 @@
+"""Text-based visualization: ASCII plots, tables, CSV series.
+
+The offline environment has no plotting stack, so every figure is
+emitted twice: as a CSV data series (for external plotting) and as an
+ASCII rendering (for immediate inspection).
+"""
+
+from .ascii import ascii_boxplot, ascii_cdf, ascii_histogram, ascii_plot, sparkline
+from .table import render_table
+from .series import Series, write_csv, format_csv
+
+__all__ = [
+    "ascii_plot",
+    "ascii_boxplot",
+    "ascii_cdf",
+    "ascii_histogram",
+    "sparkline",
+    "render_table",
+    "Series",
+    "write_csv",
+    "format_csv",
+]

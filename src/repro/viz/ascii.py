@@ -1,0 +1,186 @@
+"""ASCII plotting primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+#: Unicode block characters for sparklines, lowest to highest.
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray | list) -> str:
+    """One-line rendering of a series."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return ""
+    lo, hi = float(np.nanmin(array)), float(np.nanmax(array))
+    span = hi - lo
+    chars = []
+    for value in array:
+        if np.isnan(value):
+            chars.append(" ")
+            continue
+        level = 0 if span == 0 else int((value - lo) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[level])
+    return "".join(chars)
+
+
+def ascii_plot(
+    x: np.ndarray | list,
+    ys: dict[str, np.ndarray | list],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker letter; overlapping points show the
+    later series' marker.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    if x_arr.size == 0:
+        raise AnalysisError("nothing to plot")
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+
+    finite_ys = [
+        np.asarray(y, dtype=np.float64)[np.isfinite(np.asarray(y, dtype=np.float64))]
+        for y in ys.values()
+    ]
+    all_y = np.concatenate([fy for fy in finite_ys if fy.size] or [np.array([0.0])])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x_arr.min()), float(x_arr.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    for index, (name, y) in enumerate(ys.items()):
+        y_arr = np.asarray(y, dtype=np.float64)
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(x_arr, y_arr):
+            if not np.isfinite(yv):
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:10.3g} |"
+        elif row_index == height - 1:
+            label = f"{y_lo:10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{x_label:^{max(width - 20, 1)}}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: dict[str, np.ndarray | list],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "",
+    title: str = "",
+) -> str:
+    """CDF plot: y is always 0-100%."""
+    from ..analysis.stats import cdf
+
+    xs: list[np.ndarray] = []
+    plotted: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, values in series.items():
+        ordered, percent = cdf(values)
+        plotted[name] = (ordered, percent)
+        xs.append(ordered)
+    all_x = np.concatenate(xs)
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    # Resample every CDF onto a common grid so the plot x-axis is shared.
+    grid_x = np.linspace(x_lo, x_hi, width)
+    ys = {}
+    for name, (ordered, percent) in plotted.items():
+        stepped = np.interp(grid_x, ordered, percent, left=0.0, right=100.0)
+        ys[name] = stepped
+    return ascii_plot(
+        grid_x, ys, width=width, height=height, x_label=x_label,
+        y_label="% (CDF)", title=title,
+    )
+
+
+def ascii_box_row(
+    low: float, q1: float, median: float, q3: float, high: float,
+    lo_bound: float, hi_bound: float, width: int = 50,
+) -> str:
+    """One horizontal box-and-whiskers row on a shared scale."""
+    span = hi_bound - lo_bound
+    if span <= 0:
+        return " " * width
+
+    def col(value: float) -> int:
+        return int(np.clip((value - lo_bound) / span * (width - 1), 0, width - 1))
+
+    cells = [" "] * width
+    for position in range(col(low), col(high) + 1):
+        cells[position] = "-"
+    for position in range(col(q1), col(q3) + 1):
+        cells[position] = "="
+    cells[col(low)] = "|"
+    cells[col(high)] = "|"
+    cells[col(median)] = "#"
+    return "".join(cells)
+
+
+def ascii_boxplot(
+    groups: dict[str, "object"], width: int = 50, title: str = ""
+) -> str:
+    """Box plots for labelled :class:`~repro.analysis.stats.BoxStats`
+    groups on one shared axis (Figure 13's hourly boxes)."""
+    if not groups:
+        raise AnalysisError("nothing to plot")
+    lo = min(stats.low_whisker for stats in groups.values())
+    hi = max(stats.high_whisker for stats in groups.values())
+    label_width = max(len(str(name)) for name in groups)
+    lines = [title] if title else []
+    for name, stats in groups.items():
+        row = ascii_box_row(
+            stats.low_whisker, stats.q1, stats.median, stats.q3,
+            stats.high_whisker, lo, hi, width,
+        )
+        lines.append(f"{str(name):>{label_width}} |{row}|")
+    lines.append(
+        " " * label_width + f"  {lo:<10.3g}{'':{max(width - 20, 1)}}{hi:>10.3g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: np.ndarray | list, bins: int = 20, width: int = 50, title: str = ""
+) -> str:
+    """Horizontal-bar histogram."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise AnalysisError("nothing to histogram")
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(count / peak * width)
+        lines.append(f"{lo:10.3g} - {hi:10.3g} | {bar} {count}")
+    return "\n".join(lines)

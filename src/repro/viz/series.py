@@ -1,0 +1,51 @@
+"""CSV export of figure data series."""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass
+class Series:
+    """One named data series of a figure."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape:
+            raise AnalysisError(f"series {self.name!r}: x and y must align")
+
+
+def format_csv(series_list: list[Series], x_label: str = "x", y_label: str = "y") -> str:
+    """Long-format CSV: series,x,y."""
+    if not series_list:
+        raise AnalysisError("no series to export")
+    buffer = io.StringIO()
+    buffer.write(f"series,{x_label},{y_label}\n")
+    for series in series_list:
+        for xv, yv in zip(series.x, series.y):
+            buffer.write(f"{series.name},{xv:.10g},{yv:.10g}\n")
+    return buffer.getvalue()
+
+
+def write_csv(
+    series_list: list[Series],
+    path: str,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    """Write figure data to ``path`` (parent directories created)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_csv(series_list, x_label, y_label))

@@ -1,0 +1,44 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Render an aligned text table.
+
+    Cells are stringified; floats get compact formatting.
+    """
+    if not headers:
+        raise AnalysisError("a table needs headers")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Workload modelling: services, task placement, traffic generation.
+
+Encodes the service-level structure the paper ties its findings to:
+each server runs a single task; racks run a diverse set of tasks under
+*spread* placement, except where placement constraints co-locate one
+workload densely (the machine-learning tasks behind RegA-High's
+bimodal contention, Section 7.1).
+"""
+
+from .services import ServiceSpec, SERVICE_CATALOG, service_by_name
+from .placement import (
+    RackPlacement,
+    ColocatedPlacementPolicy,
+    SpreadPlacementPolicy,
+    dominant_task_share,
+)
+from .diurnal import DiurnalProfile, FLAT_PROFILE, MORNING_PEAK_PROFILE, EVENING_PEAK_PROFILE
+from .flows import (
+    BackgroundTrickle,
+    BurstGeneratorClient,
+    BurstServer,
+    IncastApp,
+    MulticastBurster,
+)
+from .region import RegionSpec, RackWorkload, REGION_A, REGION_B, build_region_workloads
+
+__all__ = [
+    "ServiceSpec",
+    "SERVICE_CATALOG",
+    "service_by_name",
+    "RackPlacement",
+    "ColocatedPlacementPolicy",
+    "SpreadPlacementPolicy",
+    "dominant_task_share",
+    "DiurnalProfile",
+    "FLAT_PROFILE",
+    "MORNING_PEAK_PROFILE",
+    "EVENING_PEAK_PROFILE",
+    "BackgroundTrickle",
+    "BurstGeneratorClient",
+    "BurstServer",
+    "MulticastBurster",
+    "IncastApp",
+    "RegionSpec",
+    "RackWorkload",
+    "REGION_A",
+    "REGION_B",
+    "build_region_workloads",
+]

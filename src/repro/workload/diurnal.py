@@ -1,0 +1,62 @@
+"""Diurnal load profiles.
+
+Section 7.2: RegA-High contention rises ~27.6% between hours 4 and 10
+local time; "diurnal patterns in data center traffic depend on several
+factors such as background service tasks, user activity and where
+users are physically located".  A :class:`DiurnalProfile` maps
+hour-of-day to a load multiplier applied to burst rates and volumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """24 hourly load multipliers (1.0 = reference load)."""
+
+    name: str
+    multipliers: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.multipliers) != 24:
+            raise ConfigError("a diurnal profile needs 24 hourly multipliers")
+        if any(m <= 0 for m in self.multipliers):
+            raise ConfigError("load multipliers must be positive")
+
+    def at_hour(self, hour: int) -> float:
+        """Load multiplier at hour-of-day ``hour``."""
+        return self.multipliers[hour % 24]
+
+    def scaled(self, sensitivity: float) -> "DiurnalProfile":
+        """Blend toward flat according to a task's diurnal sensitivity:
+        0 gives a flat profile, 1 the full swing."""
+        blended = tuple(1.0 + sensitivity * (m - 1.0) for m in self.multipliers)
+        return DiurnalProfile(f"{self.name}*{sensitivity:g}", blended)
+
+    def busiest_hour(self) -> int:
+        return max(range(24), key=lambda hour: self.multipliers[hour])
+
+
+def _sinusoid(peak_hour: int, amplitude: float, width: float = 6.0) -> tuple[float, ...]:
+    """A smooth single-peak daily curve centred on ``peak_hour``."""
+    values = []
+    for hour in range(24):
+        distance = min((hour - peak_hour) % 24, (peak_hour - hour) % 24)
+        values.append(1.0 + amplitude * math.exp(-0.5 * (distance / width) ** 2))
+    return tuple(values)
+
+
+#: No diurnal variation (batch/storage-dominated workloads).
+FLAT_PROFILE = DiurnalProfile("flat", tuple([1.0] * 24))
+
+#: Peak between hours 4 and 10 local time — the RegA pattern
+#: (Figure 13 top: contention up ~27.6% in that window).
+MORNING_PEAK_PROFILE = DiurnalProfile("morning-peak", _sinusoid(peak_hour=7, amplitude=0.55))
+
+#: Peak in the local evening — a region serving local user traffic.
+EVENING_PEAK_PROFILE = DiurnalProfile("evening-peak", _sinusoid(peak_hour=19, amplitude=0.35))

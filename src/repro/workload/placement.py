@@ -1,0 +1,174 @@
+"""Task-to-server placement policies.
+
+Section 7.1 traces RegA's bimodal contention to placement: racks in
+RegA-High run few distinct tasks with one dominant task on 60-100% of
+servers (a machine-learning task co-located densely), while
+RegA-Typical and RegB racks run 14-15 distinct tasks with the dominant
+task on ~25% of servers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .services import SERVICE_CATALOG, ServiceSpec, service_by_name
+
+
+@dataclass(frozen=True)
+class RackPlacement:
+    """The outcome of placing tasks on one rack: one task per server.
+
+    ``tasks[i]`` is the task instance on server ``i``; multiple servers
+    may run instances of the same task (same service), and a task name
+    like ``cache/123`` identifies the task while the prefix identifies
+    its service.
+    """
+
+    rack: str
+    tasks: tuple[str, ...]
+    services: tuple[ServiceSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tasks) != len(self.services):
+            raise ConfigError("tasks and services must align")
+        if not self.tasks:
+            raise ConfigError("a placement must cover at least one server")
+
+    @property
+    def servers(self) -> int:
+        return len(self.tasks)
+
+    def distinct_tasks(self) -> int:
+        """Number of distinct tasks on the rack (Figure 10's metric)."""
+        return len(set(self.tasks))
+
+    def dominant_task(self) -> str:
+        """The task running on the most servers."""
+        return Counter(self.tasks).most_common(1)[0][0]
+
+    def dominant_share(self) -> float:
+        """Fraction of servers running the dominant task (Figure 11)."""
+        count = Counter(self.tasks).most_common(1)[0][1]
+        return count / self.servers
+
+
+def dominant_task_share(placement: RackPlacement) -> float:
+    """Convenience alias used by the Figure 11 experiment."""
+    return placement.dominant_share()
+
+
+class SpreadPlacementPolicy:
+    """Production-default placement: tasks spread across racks.
+
+    Each rack receives ``distinct_tasks`` distinct tasks (a clipped
+    normal around the paper's median of 14-15), drawn from the service
+    catalog with optional weights, and servers are dealt to tasks with
+    a mild skew so a natural dominant task emerges (~25% share).
+    """
+
+    def __init__(
+        self,
+        mean_distinct_tasks: float = 14.5,
+        distinct_tasks_std: float = 4.0,
+        service_weights: dict[str, float] | None = None,
+        skew: float = 1.6,
+    ) -> None:
+        if mean_distinct_tasks < 1:
+            raise ConfigError("racks must run at least one task")
+        if skew <= 0:
+            raise ConfigError("skew must be positive")
+        self.mean_distinct_tasks = mean_distinct_tasks
+        self.distinct_tasks_std = distinct_tasks_std
+        self.service_weights = service_weights
+        self.skew = skew
+
+    def place(self, rack: str, servers: int, rng: np.random.Generator) -> RackPlacement:
+        count = int(
+            np.clip(
+                rng.normal(self.mean_distinct_tasks, self.distinct_tasks_std),
+                2,
+                min(servers, 30),
+            )
+        )
+        names = [spec.name for spec in SERVICE_CATALOG]
+        if self.service_weights is not None:
+            weights = np.array([self.service_weights.get(name, 1.0) for name in names])
+        else:
+            weights = np.ones(len(names))
+        weights = weights / weights.sum()
+        chosen_services = rng.choice(names, size=count, p=weights)
+        task_names = [
+            f"{service}/{rng.integers(0, 10_000)}" for service in chosen_services
+        ]
+
+        # Zipf-ish server allotment so one task dominates mildly (~25%);
+        # every chosen task gets at least one server so the realized
+        # distinct-task count matches the draw (Figure 10 medians).
+        count = min(count, servers)
+        shares = rng.dirichlet(np.full(count, 1.0 / self.skew))
+        spare = servers - count
+        allocations = 1 + np.floor(shares * spare).astype(int)
+        while allocations.sum() < servers:
+            allocations[int(np.argmax(shares))] += 1
+        while allocations.sum() > servers:
+            candidates = np.flatnonzero(allocations > 1)
+            allocations[candidates[-1]] -= 1
+
+        tasks: list[str] = []
+        services: list[ServiceSpec] = []
+        for task_name, service_name, slots in zip(task_names, chosen_services, allocations):
+            spec = service_by_name(str(service_name))
+            tasks.extend([task_name] * int(slots))
+            services.extend([spec] * int(slots))
+        order = rng.permutation(servers)
+        tasks_arr = np.array(tasks, dtype=object)[order]
+        services_arr = np.array(services, dtype=object)[order]
+        return RackPlacement(rack, tuple(tasks_arr), tuple(services_arr))
+
+
+class ColocatedPlacementPolicy:
+    """Dense co-location of one workload (the RegA-High pattern).
+
+    A single dominant task (by default an ML trainer) occupies
+    ``dominant_share`` of the rack's servers (uniform in 0.6-1.0, per
+    Figure 11); the remainder is filled by a spread policy, leaving few
+    distinct tasks overall (median 8 in the paper).
+    """
+
+    def __init__(
+        self,
+        dominant_service: str = "ml_trainer",
+        dominant_share_low: float = 0.60,
+        dominant_share_high: float = 1.0,
+        filler: SpreadPlacementPolicy | None = None,
+    ) -> None:
+        if not 0 < dominant_share_low <= dominant_share_high <= 1:
+            raise ConfigError("dominant share bounds must satisfy 0 < low <= high <= 1")
+        self.dominant_service = service_by_name(dominant_service)
+        self.dominant_share_low = dominant_share_low
+        self.dominant_share_high = dominant_share_high
+        self.filler = filler or SpreadPlacementPolicy(mean_distinct_tasks=9.0)
+
+    def place(self, rack: str, servers: int, rng: np.random.Generator) -> RackPlacement:
+        share = rng.uniform(self.dominant_share_low, self.dominant_share_high)
+        dominant_count = max(1, int(round(share * servers)))
+        dominant_count = min(dominant_count, servers)
+        # All RegA-High racks run the *same* task (Section 7.1: "the top
+        # task in each of the RegA-High racks was the same").
+        dominant_task = f"{self.dominant_service.name}/0"
+
+        tasks = [dominant_task] * dominant_count
+        services: list[ServiceSpec] = [self.dominant_service] * dominant_count
+        remainder = servers - dominant_count
+        if remainder > 0:
+            fill = self.filler.place(rack, remainder, rng)
+            tasks.extend(fill.tasks)
+            services.extend(fill.services)
+        order = rng.permutation(servers)
+        tasks_arr = np.array(tasks, dtype=object)[order]
+        services_arr = np.array(services, dtype=object)[order]
+        return RackPlacement(rack, tuple(tasks_arr), tuple(services_arr))

@@ -1,0 +1,136 @@
+"""Region composition: how racks, placement, and diurnal load combine.
+
+Section 7.1's finding is a *regional* property: RegA mixes spread
+placement (80% of racks) with densely co-located ML racks (20%),
+producing bimodal contention; RegB uses spread placement over a
+somewhat hotter service mix, producing a uniform spread with higher
+median contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RackConfig
+from ..errors import ConfigError
+from .diurnal import DiurnalProfile, MORNING_PEAK_PROFILE, EVENING_PEAK_PROFILE
+from .placement import ColocatedPlacementPolicy, RackPlacement, SpreadPlacementPolicy
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Everything that distinguishes one region's workload."""
+
+    name: str
+    #: Fraction of racks receiving dense co-located placement.
+    colocated_fraction: float
+    #: Placement policy for the spread majority.
+    spread_policy: SpreadPlacementPolicy
+    #: Placement policy for the co-located minority.
+    colocated_policy: ColocatedPlacementPolicy
+    #: Regional diurnal profile (tasks blend toward it by sensitivity).
+    diurnal: DiurnalProfile
+    #: Region-wide load scaling (RegB runs hotter than RegA).
+    load_scale: float = 1.0
+    rack_config: RackConfig = field(default_factory=RackConfig)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.colocated_fraction <= 1:
+            raise ConfigError("colocated fraction must be in [0, 1]")
+        if self.load_scale <= 0:
+            raise ConfigError("load scale must be positive")
+
+
+@dataclass(frozen=True)
+class RackWorkload:
+    """One rack's realized workload: placement plus regional context."""
+
+    rack: str
+    region: str
+    placement: RackPlacement
+    diurnal: DiurnalProfile
+    load_scale: float
+    colocated: bool
+    rack_config: RackConfig
+
+
+#: RegA: 20% of racks carry densely co-located ML training
+#: (Section 7.1), the rest spread placement; morning-peak diurnal.
+REGION_A = RegionSpec(
+    name="RegA",
+    colocated_fraction=0.20,
+    spread_policy=SpreadPlacementPolicy(
+        mean_distinct_tasks=14.0,
+        # ML training lives almost entirely in the co-located racks
+        # (Section 7.1: placement "favored co-locating machine learning
+        # workloads densely in a single data center").
+        service_weights={"ml_trainer": 0.15},
+    ),
+    colocated_policy=ColocatedPlacementPolicy(),
+    diurnal=MORNING_PEAK_PROFILE,
+    load_scale=1.4,
+)
+
+#: RegB: spread placement throughout, but a hotter mix (higher overall
+#: contention, Figure 9) with more incast-heavy services.
+REGION_B = RegionSpec(
+    name="RegB",
+    colocated_fraction=0.0,
+    spread_policy=SpreadPlacementPolicy(
+        mean_distinct_tasks=15.0,
+        service_weights={
+            "cache": 1.0,
+            "pubsub": 1.0,
+            "search": 0.9,
+            "api": 0.8,
+            "ml_trainer": 0.9,
+            "storage": 2.4,
+            "analytics": 2.0,
+            "batch": 1.4,
+        },
+        skew=1.6,
+    ),
+    colocated_policy=ColocatedPlacementPolicy(),
+    diurnal=EVENING_PEAK_PROFILE,
+    load_scale=2.0,
+)
+
+
+def build_region_workloads(
+    spec: RegionSpec,
+    racks: int,
+    rng: np.random.Generator,
+    servers_per_rack: int | None = None,
+) -> list[RackWorkload]:
+    """Place tasks on every rack of a region.
+
+    Co-located racks are chosen up-front (placement is a property of the
+    rack, persistent across the day — which is what makes Figure 12's
+    persistence finding possible).
+    """
+    if racks <= 0:
+        raise ConfigError("region must have at least one rack")
+    servers = servers_per_rack or spec.rack_config.servers
+    colocated_count = int(round(spec.colocated_fraction * racks))
+    colocated_ids = set(rng.choice(racks, size=colocated_count, replace=False).tolist())
+
+    workloads: list[RackWorkload] = []
+    for index in range(racks):
+        rack_name = f"{spec.name}-rack{index:04d}"
+        colocated = index in colocated_ids
+        policy = spec.colocated_policy if colocated else spec.spread_policy
+        placement = policy.place(rack_name, servers, rng)
+        workloads.append(
+            RackWorkload(
+                rack=rack_name,
+                region=spec.name,
+                placement=placement,
+                diurnal=spec.diurnal,
+                load_scale=spec.load_scale,
+                colocated=colocated,
+                rack_config=spec.rack_config,
+            )
+        )
+    return workloads

@@ -1,0 +1,221 @@
+"""Service catalog: the traffic personality of each task type.
+
+Each server runs a single task (Section 7.1).  A :class:`ServiceSpec`
+captures the millisecond-scale traffic behaviour of one task type —
+the knobs the fluid model turns into per-server arrival processes:
+burst frequency, burst volume/rate, baseline (smooth) utilization, and
+connection counts inside/outside bursts (incast degree).
+
+Values are chosen so the synthesized fleet lands near the paper's
+aggregate statistics (Section 6: median 7.5 bursts/s, median burst
+length 2 ms, median burst volume 1.8 MB, median in-burst utilization
+65.5%, ~5.5% outside bursts, 2.7x more connections inside bursts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Traffic model of one task type."""
+
+    name: str
+    #: Mean bursts per second per server (Poisson arrivals), at unit load.
+    burst_rate: float
+    #: Lognormal parameters of burst volume in bytes: exp(mu) is the median.
+    burst_volume_log_mu: float
+    burst_volume_log_sigma: float
+    #: During a burst the flows offer this fraction of line rate
+    #: (mean of a clipped normal).
+    burst_intensity_mean: float
+    burst_intensity_std: float
+    #: Smooth background utilization (fraction of line rate).
+    baseline_utilization: float
+    #: Active connections per sample outside bursts.
+    base_connections: float
+    #: Active connections per sample inside bursts (incast degree).
+    burst_connections: float
+    #: How strongly the task follows the diurnal profile (0 = flat).
+    diurnal_sensitivity: float = 1.0
+    #: Time constant (seconds) over which the senders feeding this task
+    #: forget their congestion state.  Long-lived connection pools (ML
+    #: all-to-all) stay adapted between bursts; request/response tiers
+    #: open fresh connections whose windows restart from slow start.
+    #: This is the mechanism behind Section 8.1's loss inversion:
+    #: persistent contention with persistent senders loses *less*.
+    sender_persistence: float = 0.05
+    #: Probability that a server running this task is in an *active
+    #: episode* during any given 2 s run.  Server runs are strongly
+    #: bimodal (Section 5: only 34% of server runs have bursty ingress,
+    #: yet Figure 6's bursty runs see a median 7.5 bursts/s): a server
+    #: is either exchanging traffic heavily or nearly idle.
+    active_probability: float = 0.22
+
+    def __post_init__(self) -> None:
+        if self.burst_rate < 0:
+            raise ConfigError("burst rate cannot be negative")
+        if not 0 <= self.baseline_utilization < 1:
+            raise ConfigError("baseline utilization must be in [0, 1)")
+        if self.burst_intensity_mean <= 0:
+            raise ConfigError("burst intensity must be positive")
+        if self.base_connections < 0 or self.burst_connections < 0:
+            raise ConfigError("connection counts cannot be negative")
+
+
+import math as _math
+
+
+def _volume_params(median_mb: float, sigma: float) -> tuple[float, float]:
+    """Lognormal (mu, sigma) for a burst-volume median in megabytes."""
+    return _math.log(median_mb * 1024 * 1024), sigma
+
+
+# The catalog spans the service families a Meta-like fleet runs.  The
+# distinguishing axes: ML trainers burst long, hard, and constantly
+# (all-to-all gradient exchange); caches see high-fanin incast of small
+# responses; storage moves large sequential volumes; web/api tiers are
+# mostly smooth with occasional fan-out bursts.
+
+SERVICE_CATALOG: tuple[ServiceSpec, ...] = (
+    ServiceSpec(
+        name="web",
+        burst_rate=7.8,
+        burst_volume_log_mu=_volume_params(0.55, 0.8)[0],
+        burst_volume_log_sigma=0.8,
+        burst_intensity_mean=0.62,
+        burst_intensity_std=0.15,
+        baseline_utilization=0.015,
+        base_connections=12.0,
+        burst_connections=30.0,
+        diurnal_sensitivity=1.2,
+    ),
+    ServiceSpec(
+        name="cache",
+        burst_rate=17.9,
+        burst_volume_log_mu=_volume_params(0.85, 0.7)[0],
+        burst_volume_log_sigma=0.7,
+        burst_intensity_mean=0.64,
+        burst_intensity_std=0.12,
+        baseline_utilization=0.022,
+        base_connections=25.0,
+        burst_connections=80.0,
+        diurnal_sensitivity=1.0,
+    ),
+    ServiceSpec(
+        name="db",
+        burst_rate=10.0,
+        burst_volume_log_mu=_volume_params(1.1, 0.75)[0],
+        burst_volume_log_sigma=0.75,
+        burst_intensity_mean=0.67,
+        burst_intensity_std=0.15,
+        baseline_utilization=0.018,
+        base_connections=15.0,
+        burst_connections=45.0,
+        diurnal_sensitivity=0.8,
+    ),
+    ServiceSpec(
+        name="storage",
+        burst_rate=11.9,
+        burst_volume_log_mu=_volume_params(1.7, 0.9)[0],
+        burst_volume_log_sigma=0.9,
+        burst_intensity_mean=0.67,
+        burst_intensity_std=0.12,
+        baseline_utilization=0.028,
+        base_connections=8.0,
+        burst_connections=20.0,
+        diurnal_sensitivity=0.5,
+        sender_persistence=5.0,
+    ),
+    ServiceSpec(
+        name="ml_trainer",
+        burst_rate=25.0,
+        burst_volume_log_mu=_volume_params(1.8, 0.5)[0],
+        burst_volume_log_sigma=0.5,
+        burst_intensity_mean=0.88,
+        burst_intensity_std=0.06,
+        baseline_utilization=0.04,
+        base_connections=10.0,
+        burst_connections=24.0,
+        diurnal_sensitivity=0.9,
+        sender_persistence=30.0,
+        active_probability=0.90,
+    ),
+    ServiceSpec(
+        name="batch",
+        burst_rate=6.0,
+        burst_volume_log_mu=_volume_params(1.5, 1.0)[0],
+        burst_volume_log_sigma=1.0,
+        burst_intensity_mean=0.60,
+        burst_intensity_std=0.18,
+        baseline_utilization=0.024,
+        base_connections=6.0,
+        burst_connections=14.0,
+        diurnal_sensitivity=0.3,
+        sender_persistence=2.0,
+    ),
+    ServiceSpec(
+        name="api",
+        burst_rate=12.9,
+        burst_volume_log_mu=_volume_params(0.65, 0.8)[0],
+        burst_volume_log_sigma=0.8,
+        burst_intensity_mean=0.64,
+        burst_intensity_std=0.15,
+        baseline_utilization=0.018,
+        base_connections=18.0,
+        burst_connections=55.0,
+        diurnal_sensitivity=1.3,
+    ),
+    ServiceSpec(
+        name="pubsub",
+        burst_rate=21.4,
+        burst_volume_log_mu=_volume_params(0.95, 0.7)[0],
+        burst_volume_log_sigma=0.7,
+        burst_intensity_mean=0.70,
+        burst_intensity_std=0.14,
+        baseline_utilization=0.022,
+        base_connections=20.0,
+        burst_connections=60.0,
+        diurnal_sensitivity=1.0,
+    ),
+    ServiceSpec(
+        name="analytics",
+        burst_rate=9.0,
+        burst_volume_log_mu=_volume_params(1.6, 0.9)[0],
+        burst_volume_log_sigma=0.9,
+        burst_intensity_mean=0.62,
+        burst_intensity_std=0.16,
+        baseline_utilization=0.022,
+        base_connections=9.0,
+        burst_connections=22.0,
+        diurnal_sensitivity=0.4,
+        sender_persistence=3.0,
+    ),
+    ServiceSpec(
+        name="search",
+        burst_rate=15.5,
+        burst_volume_log_mu=_volume_params(0.75, 0.75)[0],
+        burst_volume_log_sigma=0.75,
+        burst_intensity_mean=0.68,
+        burst_intensity_std=0.14,
+        baseline_utilization=0.018,
+        base_connections=22.0,
+        burst_connections=70.0,
+        diurnal_sensitivity=1.1,
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in SERVICE_CATALOG}
+
+
+def service_by_name(name: str) -> ServiceSpec:
+    """Look up a catalog service; raises :class:`ConfigError` if unknown."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown service {name!r}; catalog has {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,116 @@
+"""Tests for the Section 9 placement-metric candidates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import Burst
+from repro.analysis.contention import ContentionStats
+from repro.analysis.placement_metrics import (
+    burst_risk_score,
+    contention_score,
+    rank_correlation,
+    realized_loss,
+    score_racks,
+    volume_score,
+)
+from repro.analysis.summary import RunSummary
+from repro.errors import AnalysisError
+
+
+def make_summary(rack="r0", bursts=None, ingress=1e9, mean_contention=1.0):
+    return RunSummary(
+        rack=rack,
+        region="RegA",
+        hour=6,
+        servers=4,
+        buckets=1000,
+        sampling_interval=1e-3,
+        contention=ContentionStats(
+            mean=mean_contention, min_active=1, p90=2, max=3, frac_zero=0.5
+        ),
+        bursts=bursts or [],
+        server_stats=[],
+        switch_discard_bytes=0.0,
+        switch_ingress_bytes=ingress,
+    )
+
+
+def make_burst(length=5, conns=50.0, contention=3, lossy=False, volume=1e6):
+    burst = Burst(
+        server=0, start=0, length=length, volume=volume, avg_connections=conns,
+        lossy=lossy,
+    )
+    burst.max_contention = contention
+    return burst
+
+
+class TestScores:
+    def test_volume_score_per_minute(self):
+        summary = make_summary(ingress=2e9)  # over 1 s
+        assert volume_score([summary]) == pytest.approx(120.0)  # GB/min
+
+    def test_contention_score_mean(self):
+        summaries = [make_summary(mean_contention=1.0), make_summary(mean_contention=3.0)]
+        assert contention_score(summaries) == 2.0
+
+    def test_burst_risk_selects_the_loss_regime(self):
+        risky = make_burst(length=6, conns=55, contention=4)
+        safe_short = make_burst(length=1, conns=55, contention=4)
+        safe_fanin = make_burst(length=6, conns=5, contention=4)
+        safe_uncontended = make_burst(length=6, conns=55, contention=1)
+        summary = make_summary(
+            bursts=[risky, safe_short, safe_fanin, safe_uncontended]
+        )
+        assert burst_risk_score([summary]) == pytest.approx(0.25)
+
+    def test_realized_loss(self):
+        summary = make_summary(bursts=[make_burst(lossy=True), make_burst()])
+        assert realized_loss([summary]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            volume_score([])
+        with pytest.raises(AnalysisError):
+            score_racks([])
+
+    def test_score_racks_groups(self):
+        scores = score_racks([make_summary(rack="a"), make_summary(rack="b")])
+        assert set(scores) == {"a", "b"}
+        assert set(scores["a"]) == {"volume", "contention", "burst_risk", "realized_loss"}
+
+
+class TestRankCorrelation:
+    def test_perfect_monotone(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert rank_correlation([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_still_perfect(self):
+        assert rank_correlation([1, 2, 3, 4], [1, 100, 101, 1e6]) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        rho = rank_correlation([1, 1, 2, 3], [5, 5, 6, 7])
+        assert 0.9 <= rho <= 1.0
+
+    def test_constant_is_zero(self):
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_correlation([1, 2], [1, 2])
+
+
+class TestOnDataset:
+    def test_burst_risk_predicts_loss_best(self, small_ctx):
+        """The Section 9 claim: the combined metric outperforms plain
+        contention and volume at predicting rack loss."""
+        scores = score_racks(small_ctx.summaries("RegA"))
+        racks = sorted(scores)
+        losses = [scores[r]["realized_loss"] for r in racks]
+        rho_risk = rank_correlation([scores[r]["burst_risk"] for r in racks], losses)
+        rho_contention = rank_correlation(
+            [scores[r]["contention"] for r in racks], losses
+        )
+        assert rho_risk > rho_contention
+        assert rho_risk > 0.4

@@ -1,0 +1,109 @@
+"""Tests for statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    BoxStats,
+    bucket_means,
+    cdf,
+    cdf_value_at,
+    pearson_correlation,
+    percentile,
+)
+from repro.errors import AnalysisError
+
+
+class TestCdf:
+    def test_basic(self):
+        x, y = cdf([3, 1, 2])
+        assert x.tolist() == [1, 2, 3]
+        assert y.tolist() == pytest.approx([100 / 3, 200 / 3, 100.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cdf([])
+
+    def test_cdf_value_at(self):
+        assert cdf_value_at([1, 2, 3, 4], 2) == 50.0
+        assert cdf_value_at([1, 2, 3, 4], 0) == 0.0
+        assert cdf_value_at([1, 2, 3, 4], 10) == 100.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_cdf_monotone_and_bounded(self, values):
+        x, y = cdf(values)
+        assert (np.diff(x) >= 0).all()
+        assert (np.diff(y) > 0).all()
+        assert y[-1] == pytest.approx(100.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(AnalysisError):
+            percentile([1], 101)
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=40)
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        stats = BoxStats.from_values(list(range(1, 101)))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.low_whisker >= 1
+        assert stats.high_whisker <= 100
+        assert stats.count == 100
+
+    def test_outliers_excluded_from_whiskers(self):
+        values = [10] * 50 + [1000]
+        stats = BoxStats.from_values(values)
+        assert stats.high_whisker == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            BoxStats.from_values([])
+
+
+class TestBucketMeans:
+    def test_grouping(self):
+        x = [0.5, 1.5, 1.6, 2.5]
+        y = [10, 20, 40, 100]
+        centers, means, counts = bucket_means(x, y, edges=[0, 1, 2, 3])
+        assert means.tolist() == [10, 30, 100]
+        assert counts.tolist() == [1, 2, 1]
+
+    def test_empty_bucket_is_nan(self):
+        centers, means, counts = bucket_means([0.5], [1.0], edges=[0, 1, 2])
+        assert np.isnan(means[1])
+        assert counts[1] == 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(AnalysisError):
+            bucket_means([1, 2], [1], [0, 1])
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation([1], [1])

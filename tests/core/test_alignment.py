@@ -1,0 +1,139 @@
+"""Tests for run trimming and interpolation (SyncMillisampler alignment)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import align_runs, common_window, resample_run, trim_to_common_window
+from repro.errors import AnalysisError
+from tests.conftest import make_run
+
+
+class TestCommonWindow:
+    def test_basic_overlap(self):
+        runs = [
+            make_run([1] * 10, start_time=0.000),
+            make_run([1] * 10, start_time=0.003),
+        ]
+        start, end = common_window(runs)
+        assert start == pytest.approx(0.003)
+        assert end == pytest.approx(0.010)
+
+    def test_no_overlap_rejected(self):
+        runs = [
+            make_run([1] * 5, start_time=0.0),
+            make_run([1] * 5, start_time=1.0),
+        ]
+        with pytest.raises(AnalysisError):
+            common_window(runs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            common_window([])
+
+
+class TestResample:
+    def test_aligned_resample_is_identity(self):
+        run = make_run([1.0, 2.0, 3.0, 4.0], start_time=0.0)
+        resampled = resample_run(run, start=0.0, buckets=4)
+        np.testing.assert_allclose(resampled.in_bytes, run.in_bytes)
+
+    def test_half_bucket_shift_conserves_volume(self):
+        run = make_run([10.0, 20.0, 30.0, 40.0], start_time=0.0)
+        resampled = resample_run(run, start=0.0005, buckets=3)
+        # The interior of the run is fully covered, so interpolated
+        # cumulative volume over 3 buckets equals the exact integral.
+        assert resampled.in_bytes.sum() == pytest.approx(
+            np.interp(0.0035, [0, 0.001, 0.002, 0.003, 0.004], [0, 10, 30, 60, 100])
+            - np.interp(0.0005, [0, 0.001, 0.002, 0.003, 0.004], [0, 10, 30, 60, 100])
+        )
+
+    def test_resample_beyond_source_rejected(self):
+        run = make_run([1.0, 2.0], start_time=0.0)
+        with pytest.raises(AnalysisError):
+            resample_run(run, start=0.001, buckets=3)
+
+    def test_conn_estimate_interpolated_not_summed(self):
+        run = make_run([0, 0, 0, 0], conns=[10, 20, 30, 40])
+        resampled = resample_run(run, start=0.0005, buckets=3)
+        assert resampled.conn_estimate[0] == pytest.approx(15.0)
+
+    @given(
+        offset_us=st.integers(0, 999),
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=4,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_interior_volume_conserved(self, offset_us, values):
+        """Resampling onto a shifted grid conserves cumulative volume
+        over the covered interval (within float tolerance)."""
+        run = make_run(values, start_time=0.0)
+        offset = offset_us * 1e-6
+        buckets = len(values) - 1
+        resampled = resample_run(run, start=offset, buckets=buckets)
+        edges = np.arange(len(values) + 1) * 1e-3
+        cumulative = np.concatenate([[0], np.cumsum(values)])
+        expected = np.interp(offset + buckets * 1e-3, edges, cumulative) - np.interp(
+            offset, edges, cumulative
+        )
+        assert resampled.in_bytes.sum() == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestTrim:
+    def test_trim_to_common_window(self):
+        runs = [
+            make_run([1] * 10, start_time=0.000),
+            make_run([1] * 10, start_time=0.002),
+        ]
+        trimmed = trim_to_common_window(runs)
+        assert all(run.buckets == 8 for run in trimmed)
+
+    def test_trim_equal_starts_noop(self):
+        runs = [make_run([1] * 5), make_run([2] * 5)]
+        trimmed = trim_to_common_window(runs)
+        assert all(run.buckets == 5 for run in trimmed)
+
+
+class TestAlignRuns:
+    def test_aligned_output_uniform(self):
+        runs = [
+            make_run(np.arange(10, dtype=float), start_time=0.0),
+            make_run(np.arange(10, dtype=float), start_time=0.0004),
+            make_run(np.arange(10, dtype=float), start_time=0.0007),
+        ]
+        aligned = align_runs(runs)
+        starts = {run.meta.start_time for run in aligned}
+        buckets = {run.buckets for run in aligned}
+        assert len(starts) == 1
+        assert len(buckets) == 1
+        # Average trimmed length shrinks by at most the max offset.
+        assert aligned[0].buckets == 9
+
+    def test_mixed_intervals_rejected(self):
+        runs = [
+            make_run([1] * 5),
+            make_run([1] * 5, sampling_interval=10e-3),
+        ]
+        with pytest.raises(AnalysisError):
+            align_runs(runs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            align_runs([])
+
+    def test_sub_bucket_offsets_preserve_burst_alignment(self):
+        """A synchronized burst lands in the same aligned bucket even
+        when host clocks differ by a fraction of the sampling interval
+        (the Section 4.5 property)."""
+        burst = np.zeros(20)
+        burst[10] = 1e6
+        runs = [
+            make_run(burst, start_time=0.0),
+            make_run(burst, start_time=0.0003),  # clock offset 300us
+        ]
+        aligned = align_runs(runs)
+        peaks = [int(np.argmax(run.in_bytes)) for run in aligned]
+        assert abs(peaks[0] - peaks[1]) <= 1

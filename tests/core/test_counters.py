@@ -1,0 +1,102 @@
+"""Tests for per-CPU counter arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import BYTE_COUNTER_KINDS, CounterKind, CounterSet, PerCpuCounters
+from repro.errors import SamplerError
+
+
+class TestPerCpuCounters:
+    def test_add_and_aggregate(self):
+        counters = PerCpuCounters(cpus=2, buckets=4)
+        counters.add(0, 1, 100)
+        counters.add(1, 1, 50)
+        counters.add(0, 3, 7)
+        aggregated = counters.aggregate()
+        assert aggregated.tolist() == [0, 150, 0, 7]
+
+    def test_per_cpu_rows_are_independent(self):
+        counters = PerCpuCounters(cpus=3, buckets=2)
+        counters.add(2, 0, 5)
+        assert counters.aggregate()[0] == 5
+        counters.add(0, 0, 5)
+        assert counters.aggregate()[0] == 10
+
+    def test_reset_zeroes_everything(self):
+        counters = PerCpuCounters(cpus=2, buckets=2)
+        counters.add(0, 0, 9)
+        counters.reset()
+        assert counters.aggregate().sum() == 0
+
+    def test_bad_cpu_rejected(self):
+        counters = PerCpuCounters(cpus=2, buckets=2)
+        with pytest.raises(SamplerError):
+            counters.add(2, 0, 1)
+        with pytest.raises(SamplerError):
+            counters.add(-1, 0, 1)
+
+    def test_bad_bucket_rejected(self):
+        counters = PerCpuCounters(cpus=2, buckets=2)
+        with pytest.raises(SamplerError):
+            counters.add(0, 2, 1)
+
+    def test_negative_amount_rejected(self):
+        counters = PerCpuCounters(cpus=1, buckets=1)
+        with pytest.raises(SamplerError):
+            counters.add(0, 0, -1)
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(SamplerError):
+            PerCpuCounters(cpus=0, buckets=1)
+        with pytest.raises(SamplerError):
+            PerCpuCounters(cpus=1, buckets=0)
+
+    def test_footprint_is_eight_bytes_per_counter(self):
+        counters = PerCpuCounters(cpus=4, buckets=100)
+        assert counters.nbytes == 4 * 100 * 8
+
+    @given(
+        adds=st.lists(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 9), st.integers(0, 10_000)
+            ),
+            max_size=200,
+        )
+    )
+    def test_aggregate_equals_sum_of_adds(self, adds):
+        counters = PerCpuCounters(cpus=4, buckets=10)
+        expected = np.zeros(10, dtype=np.uint64)
+        for cpu, bucket, amount in adds:
+            counters.add(cpu, bucket, amount)
+            expected[bucket] += np.uint64(amount)
+        assert counters.aggregate().tolist() == expected.tolist()
+
+
+class TestCounterSet:
+    def test_all_byte_kinds_present(self):
+        counters = CounterSet(cpus=2, buckets=3)
+        for kind in BYTE_COUNTER_KINDS:
+            counters.add(kind, 0, 0, 1)
+        aggregated = counters.aggregate()
+        assert set(aggregated) == set(BYTE_COUNTER_KINDS)
+        assert all(values[0] == 1 for values in aggregated.values())
+
+    def test_flow_kind_is_not_a_byte_counter(self):
+        counters = CounterSet(cpus=1, buckets=1)
+        with pytest.raises(SamplerError):
+            counters[CounterKind.FLOW_SKETCH]
+
+    def test_footprint_includes_sketches_when_counting_flows(self):
+        with_flows = CounterSet(cpus=2, buckets=10, count_flows=True)
+        without = CounterSet(cpus=2, buckets=10, count_flows=False)
+        assert with_flows.nbytes == without.nbytes + 2 * 10 * 16
+
+    def test_reset_clears_all_kinds(self):
+        counters = CounterSet(cpus=1, buckets=2)
+        counters.add(CounterKind.IN_BYTES, 0, 0, 10)
+        counters.add(CounterKind.OUT_RETX_BYTES, 0, 1, 20)
+        counters.reset()
+        aggregated = counters.aggregate()
+        assert all(values.sum() == 0 for values in aggregated.values())

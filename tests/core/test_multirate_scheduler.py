@@ -1,0 +1,86 @@
+"""Tests for the production multi-cadence run rotation."""
+
+import pytest
+
+from repro.core.scheduler import (
+    CadenceSpec,
+    MultiRateScheduler,
+    PRODUCTION_CADENCES,
+)
+from repro.errors import SamplerError
+
+
+class TestCadences:
+    def test_production_rotation_matches_paper(self):
+        """Section 4.1: 10 ms, 1 ms, 100 us sampling; 2000 buckets give
+        observation periods of 20 s, 2 s, 200 ms."""
+        by_name = {c.name: c for c in PRODUCTION_CADENCES}
+        assert by_name["10ms"].run_duration == pytest.approx(20.0)
+        assert by_name["1ms"].run_duration == pytest.approx(2.0)
+        assert by_name["100us"].run_duration == pytest.approx(0.2)
+
+
+class TestMultiRateScheduler:
+    def test_runs_never_overlap(self):
+        scheduler = MultiRateScheduler()
+        time = 0.0
+        last_end = float("-inf")
+        for _ in range(20):
+            result = scheduler.next_run(time)
+            if result is not None:
+                cadence, _ = result
+                assert time >= last_end
+                assert cadence is not None
+                last_end = time + cadence.run_duration
+            time += 5.0
+
+    def test_all_cadences_eventually_run(self):
+        scheduler = MultiRateScheduler()
+        seen = set()
+        time = 0.0
+        while time < 2000.0 and len(seen) < 3:
+            result = scheduler.next_run(time)
+            if result is not None and result[0] is not None:
+                seen.add(result[0].name)
+            time += 1.0
+        assert seen == {"10ms", "1ms", "100us"}
+
+    def test_cadence_respects_period(self):
+        cadence = CadenceSpec("1ms", 1e-3, period=100.0)
+        scheduler = MultiRateScheduler(cadences=(cadence,))
+        first = None
+        second = None
+        time = 0.0
+        while second is None and time < 500:
+            result = scheduler.next_run(time)
+            if result is not None and result[0] is not None:
+                if first is None:
+                    first = time
+                else:
+                    second = time
+            time += 1.0
+        assert second - first >= 100.0
+
+    def test_sync_preempts_periodic(self):
+        cadence = CadenceSpec("1ms", 1e-3, period=10.0)
+        scheduler = MultiRateScheduler(cadences=(cadence,), first_start=5.0)
+        scheduler.request_sync_run(6.0, "s1", now=0.0)
+        # At t=5 the periodic run would overlap the sync at 6: it yields.
+        assert scheduler.next_run(5.0) is None
+        result = scheduler.next_run(6.0)
+        assert result is not None
+        assert result[1] == "s1"
+
+    def test_sync_validation(self):
+        scheduler = MultiRateScheduler()
+        with pytest.raises(SamplerError):
+            scheduler.request_sync_run(0.0, "s", now=1.0)
+
+    def test_duplicate_cadence_names_rejected(self):
+        cadence = CadenceSpec("x", 1e-3, period=1.0)
+        with pytest.raises(SamplerError):
+            MultiRateScheduler(cadences=(cadence, cadence))
+
+    def test_empty_cadences_rejected(self):
+        with pytest.raises(SamplerError):
+            MultiRateScheduler(cadences=())

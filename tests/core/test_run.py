@@ -1,0 +1,132 @@
+"""Tests for the run data model and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.core.run import MillisamplerRun, RunMetadata, SyncRun
+from repro.errors import AnalysisError, StorageError
+from tests.conftest import BURSTY, FULL_BUCKET, QUIET, make_run, make_sync_run
+
+
+class TestMillisamplerRun:
+    def test_mismatched_series_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            MillisamplerRun(
+                meta=RunMetadata(host="h"),
+                in_bytes=np.zeros(5),
+                out_bytes=np.zeros(5),
+                in_retx_bytes=np.zeros(4),
+                out_retx_bytes=np.zeros(5),
+                in_ecn_bytes=np.zeros(5),
+                conn_estimate=np.zeros(5),
+            )
+
+    def test_empty_factory(self):
+        run = MillisamplerRun.empty(RunMetadata(host="h"), buckets=7)
+        assert run.buckets == 7
+        assert run.in_bytes.sum() == 0
+
+    def test_duration_and_end_time(self):
+        run = make_run([0] * 100, start_time=2.0)
+        assert run.duration == pytest.approx(0.1)
+        assert run.end_time == pytest.approx(2.1)
+
+    def test_timestamps(self):
+        run = make_run([0, 0, 0], start_time=1.0)
+        assert run.timestamps().tolist() == pytest.approx([1.0, 1.001, 1.002])
+
+    def test_utilization(self):
+        run = make_run([FULL_BUCKET, FULL_BUCKET / 2, 0])
+        assert run.ingress_utilization().tolist() == pytest.approx([1.0, 0.5, 0.0])
+
+    def test_bursty_mask_uses_50pct_threshold(self):
+        run = make_run([BURSTY, QUIET, 0.51 * FULL_BUCKET, 0.5 * FULL_BUCKET])
+        assert run.bursty_mask().tolist() == [True, False, True, False]
+
+    def test_slice(self):
+        run = make_run([1, 2, 3, 4, 5], start_time=0.0)
+        part = run.slice(1, 4)
+        assert part.in_bytes.tolist() == [2, 3, 4]
+        assert part.meta.start_time == pytest.approx(0.001)
+
+    def test_slice_out_of_range(self):
+        run = make_run([1, 2, 3])
+        with pytest.raises(AnalysisError):
+            run.slice(1, 4)
+        with pytest.raises(AnalysisError):
+            run.slice(-1, 2)
+
+    def test_record_roundtrip(self):
+        run = make_run([1.0, 2.5, 3.0], retx=[0, 1, 0], conns=[5, 6, 7])
+        restored = MillisamplerRun.from_record(run.to_record())
+        assert restored.meta == run.meta
+        np.testing.assert_allclose(restored.in_bytes, run.in_bytes)
+        np.testing.assert_allclose(restored.in_retx_bytes, run.in_retx_bytes)
+        np.testing.assert_allclose(restored.conn_estimate, run.conn_estimate)
+
+    def test_compressed_roundtrip(self):
+        run = make_run(np.arange(2000, dtype=float))
+        blob = run.to_compressed()
+        restored = MillisamplerRun.from_compressed(blob)
+        np.testing.assert_allclose(restored.in_bytes, run.in_bytes)
+
+    def test_compression_actually_compresses(self):
+        run = make_run(np.zeros(2000))
+        assert len(run.to_compressed()) < 2000
+
+    def test_corrupt_blob_rejected(self):
+        with pytest.raises(StorageError):
+            MillisamplerRun.from_compressed(b"not-zlib")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(StorageError):
+            MillisamplerRun.from_record({"meta": {}})
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_preserves_volume(self, values):
+        run = make_run(values)
+        restored = MillisamplerRun.from_compressed(run.to_compressed())
+        assert restored.in_bytes.sum() == pytest.approx(run.in_bytes.sum())
+
+
+class TestSyncRun:
+    def test_requires_runs(self):
+        with pytest.raises(AnalysisError):
+            SyncRun(rack="r", region="RegA", runs=[])
+
+    def test_requires_equal_buckets(self):
+        with pytest.raises(AnalysisError):
+            make_sync_run([[1, 2, 3], [1, 2]])
+
+    def test_requires_equal_intervals(self):
+        a = make_run([1, 2])
+        b = make_run([1, 2], sampling_interval=units.ms(10))
+        with pytest.raises(AnalysisError):
+            SyncRun(rack="r", region="RegA", runs=[a, b])
+
+    def test_contention_series_counts_simultaneous_bursts(self):
+        sync = make_sync_run(
+            [
+                [BURSTY, BURSTY, QUIET],
+                [BURSTY, QUIET, QUIET],
+                [QUIET, BURSTY, QUIET],
+            ]
+        )
+        assert sync.contention_series().tolist() == [2, 2, 0]
+
+    def test_bursty_matrix_shape(self):
+        sync = make_sync_run([[BURSTY, QUIET]] * 4)
+        assert sync.bursty_matrix().shape == (4, 2)
+
+    def test_properties(self):
+        sync = make_sync_run([[1, 2, 3], [4, 5, 6]])
+        assert sync.servers == 2
+        assert sync.buckets == 3
+        assert sync.duration == pytest.approx(0.003)

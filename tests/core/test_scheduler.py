@@ -1,0 +1,75 @@
+"""Tests for the periodic run scheduler with sync priority."""
+
+import pytest
+
+from repro.core.scheduler import RunScheduler, ScheduledRun
+from repro.errors import SamplerError
+
+
+class TestRunScheduler:
+    def test_periodic_runs_on_cadence(self):
+        scheduler = RunScheduler(period=10.0, run_duration=2.0, first_start=0.0)
+        first = scheduler.next_run(now=0.0)
+        assert first is not None and first.start_time == 0.0
+        assert scheduler.next_run(now=5.0) is None
+        second = scheduler.next_run(now=10.0)
+        assert second is not None and second.start_time == 10.0
+
+    def test_runs_never_overlap(self):
+        scheduler = RunScheduler(period=10.0, run_duration=9.0)
+        assert scheduler.next_run(now=0.0) is not None
+        assert scheduler.busy_until == 9.0
+
+    def test_sync_run_priority_over_periodic(self):
+        scheduler = RunScheduler(period=10.0, run_duration=2.0, first_start=10.0)
+        scheduler.request_sync_run(start_time=11.0, sync_id="s1", now=0.0)
+        # At t=10 the periodic run would overlap the sync run; it yields.
+        due = scheduler.next_run(now=10.0)
+        assert due is None
+        sync = scheduler.next_run(now=11.0)
+        assert sync is not None and sync.is_sync and sync.sync_id == "s1"
+
+    def test_sync_must_be_in_future(self):
+        scheduler = RunScheduler(period=10.0, run_duration=2.0)
+        with pytest.raises(SamplerError):
+            scheduler.request_sync_run(start_time=5.0, sync_id="s", now=5.0)
+
+    def test_sync_conflicting_with_active_run_rejected(self):
+        scheduler = RunScheduler(period=10.0, run_duration=5.0, first_start=0.0)
+        scheduler.next_run(now=0.0)  # busy until 5
+        with pytest.raises(SamplerError):
+            scheduler.request_sync_run(start_time=3.0, sync_id="s", now=1.0)
+
+    def test_pending_sync_runs_listed(self):
+        scheduler = RunScheduler(period=10.0, run_duration=1.0, first_start=100.0)
+        scheduler.request_sync_run(start_time=20.0, sync_id="a", now=0.0)
+        scheduler.request_sync_run(start_time=30.0, sync_id="b", now=0.0)
+        pending = scheduler.pending_sync_runs()
+        assert [entry.sync_id for entry in pending] == ["a", "b"]
+
+    def test_run_duration_cannot_exceed_period(self):
+        with pytest.raises(SamplerError):
+            RunScheduler(period=1.0, run_duration=2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SamplerError):
+            RunScheduler(period=0, run_duration=1)
+        with pytest.raises(SamplerError):
+            RunScheduler(period=1, run_duration=0)
+
+    def test_skipped_periodic_resumes_after_sync(self):
+        scheduler = RunScheduler(period=10.0, run_duration=2.0, first_start=10.0)
+        scheduler.request_sync_run(start_time=11.0, sync_id="s", now=0.0)
+        assert scheduler.next_run(now=10.0) is None
+        sync = scheduler.next_run(now=11.0)
+        assert sync is not None and sync.is_sync
+        # The next periodic run (t=20) still fires normally.
+        later = scheduler.next_run(now=20.0)
+        assert later is not None and not later.is_sync
+
+    def test_scheduled_run_ordering(self):
+        early = ScheduledRun(start_time=1.0, priority=1)
+        late = ScheduledRun(start_time=2.0, priority=0)
+        assert early < late
+        tie_sync = ScheduledRun(start_time=1.0, priority=0)
+        assert tie_sync < early

@@ -1,0 +1,153 @@
+"""Tests for the 128-bit connection-counting sketch."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sketch import (
+    SATURATION_ESTIMATE,
+    SKETCH_BITS,
+    FlowSketch,
+    estimate_from_bitmap,
+    expected_bits_set,
+    hash_flow_key,
+)
+from repro.errors import SamplerError
+
+
+class TestHashing:
+    def test_hash_is_deterministic(self):
+        assert hash_flow_key(("a", "b", 1, 2, "tcp")) == hash_flow_key(
+            ("a", "b", 1, 2, "tcp")
+        )
+
+    def test_hash_in_range(self):
+        for key in ["flow1", b"flow2", 12345, ("x", 1)]:
+            assert 0 <= hash_flow_key(key) < SKETCH_BITS
+
+    def test_distinct_keys_spread(self):
+        bits = {hash_flow_key(f"flow-{i}") for i in range(500)}
+        # 500 keys into 128 bits should touch most of the bitmap.
+        assert len(bits) > 100
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(SamplerError):
+            hash_flow_key(3.14)
+
+
+class TestFlowSketch:
+    def test_empty_sketch_estimates_zero(self):
+        assert FlowSketch().estimate() == 0.0
+
+    def test_single_flow_estimates_near_one(self):
+        sketch = FlowSketch()
+        sketch.observe("only-flow")
+        assert 0.9 < sketch.estimate() < 1.1
+
+    def test_duplicate_observations_do_not_inflate(self):
+        sketch = FlowSketch()
+        for _ in range(1000):
+            sketch.observe("same-flow")
+        assert sketch.bits_set == 1
+        assert sketch.estimate() < 1.1
+
+    def test_precise_up_to_a_dozen_flows(self):
+        """Section 4.2: 'precise up to a dozen connections'."""
+        sketch = FlowSketch()
+        for i in range(12):
+            sketch.observe(f"flow-{i}")
+        assert abs(sketch.estimate() - 12) < 3
+
+    def test_saturates_around_500(self):
+        """Section 4.2: 'saturates at around 500 connections'."""
+        sketch = FlowSketch()
+        for i in range(5000):
+            sketch.observe(f"flow-{i}")
+        assert sketch.estimate() == SATURATION_ESTIMATE
+        assert 400 < SATURATION_ESTIMATE < 700
+
+    def test_merge_is_union(self):
+        a, b = FlowSketch(), FlowSketch()
+        a.observe("f1")
+        b.observe("f2")
+        merged = a.merge(b)
+        assert merged.bits_set >= max(a.bits_set, b.bits_set)
+        assert merged.estimate() >= a.estimate()
+
+    def test_merge_idempotent(self):
+        a = FlowSketch()
+        a.observe("f1")
+        assert a.merge(a).bitmap == a.bitmap
+
+    def test_stateless_across_reset(self):
+        sketch = FlowSketch()
+        sketch.observe("f1")
+        sketch.reset()
+        assert sketch.estimate() == 0.0
+
+    def test_bitmap_roundtrip(self):
+        sketch = FlowSketch()
+        for i in range(40):
+            sketch.observe(i)
+        assert estimate_from_bitmap(sketch.bitmap) == sketch.estimate()
+
+    def test_invalid_bitmap_rejected(self):
+        with pytest.raises(SamplerError):
+            FlowSketch(1 << SKETCH_BITS)
+        with pytest.raises(SamplerError):
+            FlowSketch(-1)
+
+    def test_observe_bit_bounds(self):
+        sketch = FlowSketch()
+        sketch.observe_bit(0)
+        sketch.observe_bit(SKETCH_BITS - 1)
+        with pytest.raises(SamplerError):
+            sketch.observe_bit(SKETCH_BITS)
+
+    @given(st.sets(st.integers(0, 10_000), min_size=0, max_size=300))
+    @settings(max_examples=50)
+    def test_estimate_monotone_in_bits(self, flows):
+        """More distinct flows never *decreases* the bit count, and the
+        estimate grows with occupancy."""
+        sketch = FlowSketch()
+        previous_bits = 0
+        for flow in sorted(flows):
+            sketch.observe(flow)
+            assert sketch.bits_set >= previous_bits
+            previous_bits = sketch.bits_set
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=30)
+    def test_estimate_tracks_linear_counting_formula(self, n):
+        """The estimate equals m*ln(m/z) for the realized zero count."""
+        sketch = FlowSketch()
+        for i in range(n):
+            sketch.observe(f"flow-{i}")
+        zeros = SKETCH_BITS - sketch.bits_set
+        if zeros > 0:
+            expected = SKETCH_BITS * math.log(SKETCH_BITS / zeros)
+            assert sketch.estimate() == pytest.approx(expected)
+
+
+class TestOccupancyModel:
+    def test_expected_bits_set_bounds(self):
+        assert expected_bits_set(0) == 0
+        assert expected_bits_set(500) < SKETCH_BITS
+        assert expected_bits_set(10_000) <= SKETCH_BITS
+
+    def test_expected_bits_monotone(self):
+        values = [expected_bits_set(n) for n in range(0, 300, 10)]
+        assert values == sorted(values)
+
+    def test_negative_flows_rejected(self):
+        with pytest.raises(SamplerError):
+            expected_bits_set(-1)
+
+    def test_realized_occupancy_near_expectation(self):
+        sketch = FlowSketch()
+        n = 100
+        for i in range(n):
+            sketch.observe(f"flow-{i}")
+        expected = expected_bits_set(n)
+        assert abs(sketch.bits_set - expected) < 20

@@ -1,0 +1,78 @@
+"""Tests for host-local run storage."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.storage import DEFAULT_RETENTION, HostRunStore
+from repro.errors import StorageError
+from tests.conftest import make_run
+
+
+class TestHostRunStore:
+    def test_store_and_load(self):
+        store = HostRunStore("h0")
+        run = make_run([1, 2, 3], start_time=100.0)
+        store.store(run)
+        loaded = store.load(100.0)
+        np.testing.assert_allclose(loaded.in_bytes, run.in_bytes)
+
+    def test_wrong_host_rejected(self):
+        store = HostRunStore("h0")
+        with pytest.raises(StorageError):
+            store.store(make_run([1], host="other"))
+
+    def test_missing_run_rejected(self):
+        with pytest.raises(StorageError):
+            HostRunStore("h0").load(1.0)
+
+    def test_week_retention(self):
+        store = HostRunStore("h0")
+        store.store(make_run([1], start_time=0.0))
+        store.store(make_run([2], start_time=3 * units.DAY))
+        assert len(store) == 2
+        # A store at day 8 prunes the day-0 run (> 7 days old).
+        store.store(make_run([3], start_time=8 * units.DAY))
+        assert 0.0 not in store
+        assert 3 * units.DAY in store
+
+    def test_explicit_prune_counts(self):
+        store = HostRunStore("h0", retention=10.0)
+        store.store(make_run([1], start_time=0.0))
+        store.store(make_run([1], start_time=5.0))
+        assert store.prune(now=14.0) == 1
+        assert store.prune(now=14.0) == 0
+
+    def test_start_times_sorted(self):
+        store = HostRunStore("h0")
+        for start in (5.0, 1.0, 3.0):
+            store.store(make_run([1], start_time=start))
+        assert store.start_times() == [1.0, 3.0, 5.0]
+
+    def test_stored_bytes_tracks_compressed_size(self):
+        store = HostRunStore("h0")
+        assert store.stored_bytes == 0
+        store.store(make_run(np.zeros(2000)))
+        assert 0 < store.stored_bytes < 2000
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(StorageError):
+            HostRunStore("h0", retention=0)
+
+    def test_disk_backed_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "runs")
+        store = HostRunStore("h0", directory=directory)
+        store.store(make_run([7, 8], start_time=2.0))
+        # A fresh store over the same directory can read it back.
+        fresh = HostRunStore("h0", directory=directory)
+        loaded = fresh.load(2.0)
+        assert loaded.in_bytes.tolist() == [7, 8]
+
+    def test_disk_prune_removes_files(self, tmp_path):
+        directory = str(tmp_path / "runs")
+        store = HostRunStore("h0", retention=1.0, directory=directory)
+        store.store(make_run([1], start_time=0.0))
+        store.store(make_run([1], start_time=5.0))
+        import os
+
+        assert len(os.listdir(directory)) == 1

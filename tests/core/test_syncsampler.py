@@ -1,0 +1,112 @@
+"""Tests for the SyncMillisampler control plane."""
+
+import numpy as np
+import pytest
+
+from repro.core.millisampler import Millisampler
+from repro.core.run import RunMetadata
+from repro.core.scheduler import RunScheduler
+from repro.core.storage import HostRunStore
+from repro.core.syncsampler import SampledHost, SyncMillisampler
+from repro.errors import SamplerError
+from tests.conftest import make_run
+
+
+def make_host(name: str, buckets: int = 10) -> SampledHost:
+    sampler = Millisampler(
+        RunMetadata(host=name, rack="r0", region="RegA"),
+        sampling_interval=1e-3,
+        buckets=buckets,
+        cpus=1,
+    )
+    scheduler = RunScheduler(period=60.0, run_duration=sampler.duration, first_start=1e9)
+    return SampledHost(sampler=sampler, scheduler=scheduler, store=HostRunStore(name))
+
+
+class TestSyncMillisampler:
+    def test_request_needs_lead_time(self):
+        sync = SyncMillisampler()
+        hosts = [make_host("h0")]
+        with pytest.raises(SamplerError):
+            sync.request_collection(hosts, "r0", "RegA", start_time=0.005, now=0.0)
+
+    def test_request_needs_hosts(self):
+        with pytest.raises(SamplerError):
+            SyncMillisampler().request_collection([], "r0", "RegA", 1.0, now=0.0)
+
+    def test_collection_lifecycle(self):
+        sync = SyncMillisampler()
+        hosts = [make_host(f"h{i}") for i in range(3)]
+        sync_id = sync.request_collection(hosts, "r0", "RegA", start_time=1.0, now=0.0)
+        assert sync.pending_ids() == [sync_id]
+
+        # Drive each host: poll at the start time to begin, feed packets,
+        # poll after the window to harvest.
+        from repro.core.millisampler import Direction, PacketObservation
+
+        for host in hosts:
+            host.poll(now=1.0)
+            assert host.sampler.enabled
+            host.sampler.observe(
+                PacketObservation(
+                    time=1.0, direction=Direction.INGRESS, size=500, flow_key="f"
+                )
+            )
+        for host in hosts:
+            host.poll(now=1.1)
+        sync_run = sync.assemble(sync_id)
+        assert sync_run.servers == 3
+        assert sync_run.rack == "r0"
+        assert sync.pending_ids() == []
+
+    def test_assemble_unknown_id_rejected(self):
+        with pytest.raises(SamplerError):
+            SyncMillisampler().assemble("nope")
+
+    def test_assemble_synthesizes_zero_run_for_idle_host(self):
+        """A host that saw no traffic contributes an all-zero run — an
+        idle server is data (zero contention), not an error."""
+        sync = SyncMillisampler()
+        hosts = [make_host("h0")]
+        sync_id = sync.request_collection(hosts, "r0", "RegA", start_time=1.0, now=0.0)
+        sync_run = sync.assemble(sync_id)
+        assert sync_run.servers == 1
+        assert sync_run.runs[0].in_bytes.sum() == 0
+
+    def test_assemble_from_runs_aligns(self):
+        runs = [
+            make_run(np.arange(10.0), host="h0", start_time=0.0),
+            make_run(np.arange(10.0), host="h1", start_time=0.0004),
+        ]
+        sync_run = SyncMillisampler.assemble_from_runs("r0", "RegA", runs, hour=7)
+        assert sync_run.hour == 7
+        assert len({r.buckets for r in sync_run.runs}) == 1
+
+    def test_lead_must_cover_run_duration(self):
+        with pytest.raises(SamplerError):
+            SyncMillisampler(lead_runs=0.5)
+
+
+class TestSampledHostPolling:
+    def test_idle_run_force_finished_and_stored(self):
+        host = make_host("h0")
+        host.scheduler.request_sync_run(start_time=1.0, sync_id="s", now=0.0)
+        host.poll(now=1.0)
+        from repro.core.millisampler import Direction, PacketObservation
+
+        host.sampler.observe(
+            PacketObservation(time=1.0, direction=Direction.INGRESS, size=10, flow_key="f")
+        )
+        # Window is 10 ms; poll at 1.02 must finish, store, and detach.
+        host.poll(now=1.02)
+        assert len(host.store) == 1
+        assert host.sampler.state.value == "detached"
+
+    def test_no_traffic_run_not_stored(self):
+        """A run that never saw a packet has no start time; polling
+        should not store a phantom run."""
+        host = make_host("h0")
+        host.scheduler.request_sync_run(start_time=1.0, sync_id="s", now=0.0)
+        host.poll(now=1.0)
+        host.poll(now=2.0)
+        assert len(host.store) == 0

@@ -1,0 +1,173 @@
+"""Tests for the extension experiments (crossval, gso, policy ablation)
+and the CLI."""
+
+import pytest
+
+from repro.experiments import ablation_policies, crossval_fluid, gso_inflation
+from repro.experiments.cli import main as cli_main
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.small(racks=6, runs_per_rack=2)
+
+
+class TestCrossValidation:
+    def test_fluid_tracks_packet_level(self, ctx):
+        result = crossval_fluid.run(ctx)
+        # Shapes must agree: loss grows with contention on both sides,
+        # and the absolute gap stays small.
+        assert result.metric("packet_loss_s16") > result.metric("packet_loss_s1") * 0.99
+        assert result.metric("fluid_loss_s16") > result.metric("fluid_loss_s1")
+        assert result.metric("max_gap") < 0.06
+
+    def test_both_substrates_lose_under_overload(self, ctx):
+        result = crossval_fluid.run(ctx)
+        assert result.metric("packet_loss_s8") > 0
+        assert result.metric("fluid_loss_s8") > 0
+
+
+class TestGsoInflation:
+    def test_fine_buckets_alias_most(self, ctx):
+        result = gso_inflation.run(ctx)
+        assert (
+            result.metric("peak_utilization_100us")
+            > result.metric("peak_utilization_1ms")
+        )
+        assert result.metric("peak_utilization_100us") > 1.0
+
+    def test_coarse_buckets_near_line_rate(self, ctx):
+        result = gso_inflation.run(ctx)
+        assert result.metric("peak_utilization_10ms") < 1.1
+
+
+class TestPolicyAblation:
+    def test_dynamic_beats_static_on_spread_racks(self, ctx):
+        result = ablation_policies.run(ctx)
+        assert (
+            result.metric("spread_loss_dynamic-threshold")
+            <= result.metric("spread_loss_static-partition")
+        )
+
+    def test_all_policies_evaluated(self, ctx):
+        result = ablation_policies.run(ctx)
+        for name in ("dynamic-threshold", "static-partition", "complete-sharing",
+                     "enhanced-dt", "flow-aware"):
+            assert f"spread_loss_{name}" in result.metrics
+            assert f"coloc_loss_{name}" in result.metrics
+
+
+class TestFabricSmoothing:
+    def test_fabric_absorbs_what_the_tor_drops(self, ctx):
+        from repro.experiments import fabric_smoothing
+
+        result = fabric_smoothing.run(ctx)
+        assert (
+            result.metric("fabric_tor_discards")
+            < result.metric("direct_tor_discards")
+        )
+        assert result.metric("span_stretch") > 1.5
+
+    def test_direct_fanin_overflows_tor(self, ctx):
+        from repro.experiments import fabric_smoothing
+
+        result = fabric_smoothing.run(ctx)
+        assert result.metric("direct_tor_discards") > 0.1
+
+
+class TestThresholdAblation:
+    def test_inversion_robust_across_thresholds(self, ctx):
+        from repro.experiments import ablation_threshold
+
+        result = ablation_threshold.run(ctx)
+        for threshold in (30, 50, 70):
+            assert result.metric(f"inversion_holds_{threshold}pct") == 1.0
+
+    def test_higher_threshold_fewer_bursts(self, ctx):
+        from repro.experiments import ablation_threshold
+
+        result = ablation_threshold.run(ctx)
+        # Fewer samples exceed a higher cut, but contended fraction
+        # stays in the same regime.
+        assert (
+            abs(
+                result.metric("contended_fraction_50pct")
+                - result.metric("contended_fraction_70pct")
+            )
+            < 0.25
+        )
+
+
+class TestSketchAblation:
+    def test_precise_to_a_dozen_and_saturates(self, ctx):
+        from repro.experiments import ablation_sketch
+
+        result = ablation_sketch.run(ctx)
+        assert result.metric("rel_error_at_12") < 0.15
+        assert 400 < result.metric("mean_estimate_at_800") < 700
+
+    def test_fleet_noise_model_matches_real_sketch(self, ctx):
+        """The binomial approximation the fleet synthesis uses must
+        mean-match the true sketch across the operating range."""
+        from repro.experiments import ablation_sketch
+
+        result = ablation_sketch.run(ctx)
+        assert result.metric("max_fleet_model_gap") < 0.05
+
+
+class TestFig15EdgeCases:
+    def test_mostly_idle_run_does_not_crash(self):
+        """Percentile interpolation can put a run's p90 contention just
+        below its minimum over active samples; the buffer-share drop is
+        then zero, not an error."""
+        import numpy as np
+
+        from repro.analysis.contention import ContentionStats
+        from repro.analysis.summary import RunSummary
+        from repro.experiments import fig15_run_variation
+        from repro.experiments.context import ExperimentContext
+
+        summary = RunSummary(
+            rack="r0", region="RegA", hour=6, servers=4, buckets=100,
+            sampling_interval=1e-3,
+            contention=ContentionStats(
+                mean=0.2, min_active=2.0, p90=1.8, max=3.0, frac_zero=0.9
+            ),
+            bursts=[], server_stats=[],
+            switch_discard_bytes=0, switch_ingress_bytes=1,
+        )
+
+        class FakeCtx:
+            def summaries(self, region):
+                return [summary]
+
+        result = fig15_run_variation.run(FakeCtx())
+        assert result.metric("median_share_drop") == 0.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out and "crossval" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+
+    def test_run_writes_outputs(self, tmp_path, capsys):
+        code = cli_main(
+            ["run", "fig1", "--racks", "4", "--runs-per-rack", "2",
+             "--out", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        assert (tmp_path / "fig1.csv").exists()
+        assert (tmp_path / "fig1.txt").exists()
+
+    def test_export_then_analyze(self, tmp_path, capsys):
+        out = str(tmp_path / "data")
+        assert cli_main(["export", out, "--racks", "2", "--runs-per-rack", "1"]) == 0
+        assert cli_main(["analyze", out]) == 0
+        report = capsys.readouterr().out
+        assert "bursts" in report
+        assert "contended" in report

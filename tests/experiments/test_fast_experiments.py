@@ -1,0 +1,96 @@
+"""Tests for the dataset-free experiments (analytic + packet-level)."""
+
+import pytest
+
+from repro.experiments import fig01_queue_share, fig03_multicast_validation
+from repro.experiments import fig04_burst_validation, fig05_example_runs, perf_sampler
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.small(racks=6, runs_per_rack=2)
+
+
+class TestRegistry:
+    def test_every_entry_resolves(self):
+        for experiment_id in EXPERIMENTS:
+            assert callable(get_experiment(experiment_id))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+    def test_ids_cover_all_paper_artifacts(self):
+        expected = {f"fig{i}" for i in list(range(3, 20)) + [1]} | {
+            "table1", "table2", "perf",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestFig1:
+    def test_fixed_points(self, ctx):
+        result = fig01_queue_share.run(ctx)
+        assert result.metric("share_alpha1_s1") == pytest.approx(0.5)
+        assert result.metric("share_alpha1_s2") == pytest.approx(1 / 3)
+        assert result.metric("share_alpha2_s1") == pytest.approx(2 / 3)
+        assert result.metric("share_alpha2_s2") == pytest.approx(0.4)
+
+    def test_packet_buffer_matches_formula(self, ctx):
+        result = fig01_queue_share.run(ctx)
+        assert result.metric("max_formula_vs_packet_error") < 0.02
+
+    def test_has_five_alpha_series(self, ctx):
+        result = fig01_queue_share.run(ctx)
+        assert len(result.series) == 5
+
+
+class TestFig3:
+    def test_multicast_alignment(self, ctx):
+        result = fig03_multicast_validation.run(ctx)
+        assert result.metric("burst_alignment_fraction") >= 0.9
+        assert result.metric("max_clock_skew_ms") < 1.0
+        # Multicast is rate limited: bursts stay below line rate.
+        assert result.metric("peak_rate_gbps") < 12.5
+
+
+class TestFig4:
+    def test_counts_five_bursty_servers(self, ctx):
+        result = fig04_burst_validation.run(ctx)
+        assert result.metric("max_concurrent_bursty") == 5
+        assert result.metric("full_contention_buckets") >= 5
+
+
+class TestFig5:
+    def test_low_vs_high_examples(self, ctx):
+        result = fig05_example_runs.run(ctx)
+        assert result.metric("high_contention_mean") > result.metric("low_contention_mean")
+        assert result.metric("low_contention_max") >= 1
+
+
+class TestPerf:
+    def test_breakeven(self, ctx):
+        result = perf_sampler.run(ctx)
+        assert 30_000 <= result.metric("breakeven_packets") <= 36_000
+        assert 2.0 < result.metric("footprint_mb") < 5.0
+
+
+class TestResultPlumbing:
+    def test_save_writes_csv_and_report(self, ctx, tmp_path):
+        result = fig01_queue_share.run(ctx)
+        paths = result.save(str(tmp_path))
+        assert any(path.endswith(".csv") for path in paths)
+        assert any(path.endswith(".txt") for path in paths)
+
+    def test_render_mentions_paper_claim(self, ctx):
+        result = fig01_queue_share.run(ctx)
+        assert "Paper:" in result.render()
+
+    def test_missing_metric_rejected(self, ctx):
+        from repro.errors import AnalysisError
+
+        result = fig01_queue_share.run(ctx)
+        with pytest.raises(AnalysisError):
+            result.metric("nope")

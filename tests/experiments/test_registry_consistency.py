@@ -1,0 +1,72 @@
+"""Registry/documentation consistency checks.
+
+Cheap guards that keep the experiment registry, the benchmark suite,
+and the docs from drifting apart as artifacts are added.
+"""
+
+import glob
+import importlib
+import os
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestRegistry:
+    def test_every_module_importable_and_has_run(self):
+        for entry in EXPERIMENTS.values():
+            module = importlib.import_module(
+                f"repro.experiments.{entry.module}"
+            )
+            assert callable(module.run), entry.experiment_id
+
+    def test_every_module_has_docstring_citing_the_paper(self):
+        for entry in EXPERIMENTS.values():
+            module = importlib.import_module(
+                f"repro.experiments.{entry.module}"
+            )
+            assert module.__doc__, entry.experiment_id
+            assert len(module.__doc__) > 80, entry.experiment_id
+
+    def test_paper_artifacts_all_registered(self):
+        paper_ids = {f"fig{i}" for i in [1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                          13, 14, 15, 16, 17, 18, 19]}
+        paper_ids |= {"table1", "table2"}
+        assert paper_ids <= set(EXPERIMENTS)
+
+    def test_each_paper_artifact_has_a_benchmark(self):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        bench_source = ""
+        for path in glob.glob(os.path.join(bench_dir, "test_bench_*.py")):
+            with open(path) as handle:
+                bench_source += handle.read()
+        for entry in EXPERIMENTS.values():
+            if entry.experiment_id.startswith(("fig", "table")):
+                assert entry.module in bench_source, (
+                    f"no benchmark imports experiments.{entry.module}"
+                )
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("name", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_docs_exist_and_are_substantial(self, name):
+        path = os.path.join(REPO_ROOT, name)
+        assert os.path.exists(path), name
+        with open(path) as handle:
+            assert len(handle.read()) > 2000, name
+
+    def test_experiments_md_covers_every_paper_artifact(self):
+        with open(os.path.join(REPO_ROOT, "EXPERIMENTS.md")) as handle:
+            text = handle.read()
+        for artifact in ("Fig 1", "Fig 9", "Fig 16", "Table 2", "Table 1"):
+            assert artifact in text, artifact
+
+    def test_design_md_confirms_paper_identity(self):
+        with open(os.path.join(REPO_ROOT, "DESIGN.md")) as handle:
+            text = handle.read()
+        assert "matches the target paper" in text

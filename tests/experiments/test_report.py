@@ -1,0 +1,34 @@
+"""Tests for the combined report generator."""
+
+import pytest
+
+from repro.experiments.report import render_markdown, run_all, write_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def subset_results(self, small_ctx):
+        # A fast, representative subset: analytic, packet-level, dataset.
+        return run_all(small_ctx, ["fig1", "fig4", "table2"])
+
+    def test_run_all_subset(self, subset_results):
+        assert set(subset_results) == {"fig1", "fig4", "table2"}
+
+    def test_markdown_structure(self, subset_results, small_ctx):
+        text = render_markdown(subset_results, small_ctx)
+        assert text.startswith("# Millisampler reproduction report")
+        assert "## Summary" in text
+        assert "## table2:" in text
+        assert "**Paper:**" in text
+        assert "loss_inversion_ratio" in text
+
+    def test_write_report(self, small_ctx, tmp_path):
+        path = str(tmp_path / "REPORT.md")
+        progress_calls = []
+        write_report(
+            small_ctx, path, ["fig1"],
+            progress=lambda eid, took: progress_calls.append(eid),
+        )
+        assert progress_calls == ["fig1"]
+        with open(path) as handle:
+            assert "fig1" in handle.read()

@@ -1,0 +1,127 @@
+"""Tests for alternative buffer-sharing policies."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.fleet.buffermodel import FluidBufferModel
+from repro.fleet.policies import (
+    CompleteSharingPolicy,
+    DynamicThresholdPolicy,
+    EnhancedDynamicThresholdPolicy,
+    FlowAwareThresholdPolicy,
+    StaticPartitionPolicy,
+    standard_policies,
+)
+
+DRAIN = units.SERVER_LINK_RATE * units.ANALYSIS_INTERVAL
+
+
+def limits_for(policy, pool_used=0.0, queue_used=0.0, active=0.0):
+    return policy.limits(
+        shared_total=1000.0,
+        pool_used=np.array([pool_used]),
+        quadrant=np.array([0]),
+        queue_shared_used=np.array([queue_used]),
+        active_steps=np.array([active]),
+    )[0]
+
+
+class TestPolicyRules:
+    def test_dt_matches_formula(self):
+        policy = DynamicThresholdPolicy(alpha=1.0)
+        assert limits_for(policy, pool_used=400.0) == 600.0
+
+    def test_dt_invalid_alpha(self):
+        with pytest.raises(SimulationError):
+            DynamicThresholdPolicy(alpha=0)
+
+    def test_static_partition_fixed(self):
+        policy = StaticPartitionPolicy(queues_per_quadrant=4)
+        assert limits_for(policy, pool_used=0.0) == 250.0
+        assert limits_for(policy, pool_used=999.0) == 250.0
+
+    def test_complete_sharing_unbounded(self):
+        policy = CompleteSharingPolicy()
+        assert limits_for(policy, pool_used=999.0) == 1000.0
+
+    def test_edt_exceeds_dt_when_queue_holds_bytes(self):
+        dt = DynamicThresholdPolicy(alpha=1.0)
+        edt = EnhancedDynamicThresholdPolicy(alpha=1.0, burst_fraction=0.5)
+        # Pool half full: DT limit 500; EDT grants queue_used + 0.5*free.
+        assert limits_for(edt, pool_used=500.0, queue_used=450.0) >= limits_for(
+            dt, pool_used=500.0
+        )
+
+    def test_flow_aware_mice_get_more(self):
+        policy = FlowAwareThresholdPolicy(mice_alpha=4.0, elephant_alpha=0.5, mice_steps=4)
+        mice = limits_for(policy, pool_used=500.0, active=2)
+        elephant = limits_for(policy, pool_used=500.0, active=100)
+        assert mice > elephant
+
+    def test_standard_policies_distinct_names(self):
+        names = [p.name for p in standard_policies(4)]
+        assert len(names) == len(set(names))
+
+
+class TestPoliciesInFluidModel:
+    def _bursty_demand(self, servers=8, seed=0):
+        rng = np.random.default_rng(seed)
+        demand = np.zeros((300, servers))
+        for s in range(servers):
+            for start in rng.integers(0, 290, size=10):
+                demand[start : start + 3, s] += 2.0 * DRAIN
+        return demand
+
+    def _loss(self, policy, servers=8):
+        model = FluidBufferModel(servers=servers, policy=policy)
+        demand = self._bursty_demand(servers)
+        result = model.run(demand, np.full(servers, 0.05))
+        return result.total_dropped
+
+    def test_static_partition_worst_for_bursts(self):
+        """Hard slicing cannot absorb bursts: it must lose at least as
+        much as dynamic sharing on bursty traffic."""
+        dt_loss = self._loss(DynamicThresholdPolicy(alpha=1.0))
+        static_loss = self._loss(StaticPartitionPolicy(queues_per_quadrant=2))
+        assert static_loss >= dt_loss
+
+    def test_complete_sharing_absorbs_most(self):
+        dt_loss = self._loss(DynamicThresholdPolicy(alpha=1.0))
+        cs_loss = self._loss(CompleteSharingPolicy())
+        assert cs_loss <= dt_loss
+
+    def test_edt_between_dt_and_complete_sharing(self):
+        dt_loss = self._loss(DynamicThresholdPolicy(alpha=1.0))
+        cs_loss = self._loss(CompleteSharingPolicy())
+        edt_loss = self._loss(EnhancedDynamicThresholdPolicy())
+        assert cs_loss <= edt_loss <= dt_loss * 1.05
+
+    def test_pool_capacity_respected_by_all(self):
+        for policy in standard_policies(2):
+            model = FluidBufferModel(servers=8, num_quadrants=1, policy=policy)
+            cfg = model.buffer_config
+            demand = np.full((80, 8), 4 * DRAIN)
+            result = model.run(demand, np.full(8, 0.05))
+            limit = cfg.shared_bytes + 8 * cfg.dedicated_bytes_per_queue
+            assert result.queue_occupancy.sum(axis=1).max() <= limit * 1.001, policy.name
+
+
+class TestOpenLoopModes:
+    def test_unresponsive_sources_keep_multiplier(self):
+        model = FluidBufferModel(servers=2, responsive_sources=False)
+        demand = np.zeros((50, 2))
+        demand[5:20, :] = 3 * DRAIN
+        result = model.run(demand, np.full(2, 0.05))
+        assert np.all(result.rate_multiplier == 1.0)
+
+    def test_no_retransmit_mode(self):
+        model = FluidBufferModel(
+            servers=8, responsive_sources=False, retransmit_losses=False
+        )
+        demand = np.zeros((50, 8))
+        demand[5:9, :] = 6 * DRAIN
+        result = model.run(demand, np.full(8, 0.05))
+        assert result.total_dropped > 0
+        assert result.delivered_retx.sum() == 0

@@ -1,0 +1,139 @@
+"""Tests for rack-run synthesis and dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.core.run import SyncRun
+from repro.errors import ConfigError, SimulationError
+from repro.fleet.dataset import (
+    generate_region_dataset,
+    iter_region_summaries,
+)
+from repro.fleet.rackrun import RackRunSynthesizer, sketch_estimates
+from repro.workload.region import REGION_A, build_region_workloads
+
+
+@pytest.fixture
+def workload(rng):
+    return build_region_workloads(REGION_A, racks=3, rng=rng, servers_per_rack=24)[0]
+
+
+class TestSketchEstimates:
+    def test_zero_flows_estimate_zero(self, rng):
+        estimates = sketch_estimates(np.zeros(10), rng)
+        assert np.allclose(estimates, 0.0)
+
+    def test_small_counts_nearly_exact(self, rng):
+        estimates = sketch_estimates(np.full(200, 10.0), rng)
+        assert abs(np.mean(estimates) - 10.0) < 2.0
+
+    def test_saturation_for_huge_counts(self, rng):
+        estimates = sketch_estimates(np.full(20, 10_000.0), rng)
+        assert np.all(estimates >= 400)
+
+    def test_monotone_in_expectation(self, rng):
+        low = sketch_estimates(np.full(500, 20.0), rng).mean()
+        high = sketch_estimates(np.full(500, 80.0), rng).mean()
+        assert high > low
+
+
+class TestRackRunSynthesizer:
+    def test_produces_valid_sync_run(self, workload, rng):
+        synthesizer = RackRunSynthesizer()
+        sync_run = synthesizer.synthesize(workload, hour=6, rng=rng)
+        assert isinstance(sync_run, SyncRun)
+        assert sync_run.servers == 24
+        assert sync_run.rack == workload.rack
+        assert 100 <= sync_run.buckets <= 2000
+
+    def test_run_length_near_paper_average(self, workload):
+        """Section 5: trimmed runs average 1.85 s at 1 ms sampling."""
+        synthesizer = RackRunSynthesizer()
+        lengths = [
+            synthesizer.synthesize(workload, 6, np.random.default_rng(s)).buckets
+            for s in range(10)
+        ]
+        assert 1700 < np.mean(lengths) < 2000
+
+    def test_utilization_never_exceeds_line_rate(self, workload, rng):
+        sync_run = RackRunSynthesizer().synthesize(workload, 6, rng)
+        for run in sync_run.runs:
+            assert run.ingress_utilization().max() <= 1.0 + 1e-9
+
+    def test_metadata_carries_tasks(self, workload, rng):
+        sync_run = RackRunSynthesizer().synthesize(workload, 6, rng)
+        tasks = {run.meta.task for run in sync_run.runs}
+        assert tasks == set(workload.placement.tasks)
+        assert sync_run.extras["distinct_tasks"] == workload.placement.distinct_tasks()
+
+    def test_switch_counters_populated(self, workload, rng):
+        sync_run = RackRunSynthesizer().synthesize(workload, 6, rng)
+        assert sync_run.switch_ingress_bytes > 0
+        assert sync_run.switch_discard_bytes >= 0
+
+    def test_invalid_hour_rejected(self, workload, rng):
+        with pytest.raises(SimulationError):
+            RackRunSynthesizer().synthesize(workload, hour=24, rng=rng)
+
+    def test_explicit_buckets_respected(self, workload, rng):
+        sync_run = RackRunSynthesizer().synthesize(workload, 6, rng, buckets=333)
+        assert sync_run.buckets == 333
+
+    def test_retx_only_when_drops(self, workload, rng):
+        sync_run = RackRunSynthesizer().synthesize(workload, 6, rng)
+        total_retx = sum(run.in_retx_bytes.sum() for run in sync_run.runs)
+        if sync_run.switch_discard_bytes == 0:
+            assert total_retx == 0
+
+
+class TestDatasetGeneration:
+    def test_streaming_generation(self, rng):
+        config = FleetConfig(racks_per_region=3, runs_per_rack=2, seed=1)
+        pairs = list(iter_region_summaries(REGION_A, config))
+        assert len(pairs) == 6
+        racks = {summary.rack for summary, _ in pairs}
+        assert len(racks) == 3
+
+    def test_region_dataset_table1(self):
+        config = FleetConfig(racks_per_region=3, runs_per_rack=2, seed=1)
+        dataset = generate_region_dataset(REGION_A, config)
+        row = dataset.table1_row()
+        assert row.runs == 6
+        assert row.server_runs == 6 * 92
+        assert 0 < row.bursty_server_runs <= row.server_runs
+        assert row.bursts > 0
+
+    def test_rack_days_grouping(self):
+        config = FleetConfig(racks_per_region=2, runs_per_rack=3, seed=1)
+        dataset = generate_region_dataset(REGION_A, config)
+        days = dataset.rack_days()
+        assert len(days) == 2
+        assert all(len(day.summaries) == 3 for day in days)
+
+    def test_deterministic_given_seed(self):
+        config = FleetConfig(racks_per_region=2, runs_per_rack=2, seed=7)
+        a = generate_region_dataset(REGION_A, config)
+        b = generate_region_dataset(REGION_A, config)
+        assert [s.contention.mean for s in a.summaries] == [
+            s.contention.mean for s in b.summaries
+        ]
+
+    def test_hours_spread_across_day(self):
+        config = FleetConfig(racks_per_region=4, runs_per_rack=10, seed=2)
+        dataset = generate_region_dataset(REGION_A, config)
+        hours = {summary.hour for summary in dataset.summaries}
+        assert len(hours) >= 10
+
+    def test_too_many_runs_rejected(self):
+        config = FleetConfig(racks_per_region=1, runs_per_rack=10, hours=5, seed=1)
+        with pytest.raises(ConfigError):
+            list(iter_region_summaries(REGION_A, config))
+
+    def test_progress_callback_invoked(self):
+        config = FleetConfig(racks_per_region=2, runs_per_rack=2, seed=1)
+        calls = []
+        generate_region_dataset(
+            REGION_A, config, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls[-1] == (4, 4)

@@ -1,0 +1,173 @@
+"""Integration tests: full packet-level pipeline, sampler to analysis.
+
+These exercise the complete Section 4 stack: traffic flows through the
+simulated rack, Millisampler taps observe it on each host, the
+SyncMillisampler control plane collects and aligns runs, and the
+analysis pipeline produces the paper's metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.bursts import detect_run_bursts
+from repro.analysis.summary import summarize_run
+from repro.config import BufferConfig, RackConfig, SamplerConfig
+from repro.core.syncsampler import SyncMillisampler
+from repro.simnet.topology import build_rack
+from repro.simnet.tcp import DctcpControl, open_connection
+from repro.workload.flows import BurstServer, IncastApp
+
+
+def add_background_trickle(rack, period=5e-3, size=2000):
+    """Start the library's background trickle (production hosts always
+    carry some traffic, so samplers begin promptly when enabled)."""
+    from repro.workload.flows import BackgroundTrickle
+
+    BackgroundTrickle(rack.hosts, period=period, size=size).start()
+
+
+def drive(rack, sync, sampler_config, start_at, extra_time=0.2, poll_interval=5e-3):
+    """Run the engine with periodic user-space sampler polling.
+
+    Poll times are computed as exact multiples of the interval so a
+    poll lands exactly on the scheduled sync start (accumulating the
+    interval drifts below it in floating point).
+    """
+    end = start_at + sampler_config.duration + extra_time
+    tick = 0
+    while rack.engine.now < end:
+        rack.engine.run_until(min(tick * poll_interval, end))
+        rack.poll_samplers()
+        tick += 1
+    rack.poll_samplers()
+
+
+@pytest.fixture
+def sampler_config():
+    return SamplerConfig(buckets=400, cpus=4)
+
+
+class TestSamplerObservesRealTraffic:
+    def test_tcp_transfer_fully_accounted(self, sampler_config):
+        rack = build_rack(servers=4, sampler_config=sampler_config,
+                          rng=np.random.default_rng(2))
+        add_background_trickle(rack)
+        sync = SyncMillisampler()
+        start_at = 3 * sampler_config.duration
+        sync_id = sync.request_collection(
+            rack.sampled_hosts, rack.name, "RegA", start_at, now=0.0
+        )
+
+        transfer_bytes = 2_000_000
+        sender, receiver = open_connection(
+            rack.hosts[0], rack.hosts[1], DctcpControl(mss=1448)
+        )
+        # Start mid-window: data landing in a run's very first bucket can
+        # be partially trimmed during cross-host alignment.
+        rack.engine.at(start_at + 0.05, lambda: sender.send(transfer_bytes))
+        drive(rack, sync, sampler_config, start_at)
+
+        sync_run = sync.assemble(sync_id)
+        receiver_index = [r.meta.host for r in sync_run.runs].index(rack.hosts[1].name)
+        observed = sync_run.runs[receiver_index].in_bytes.sum()
+        # The receiver's sampler saw the whole transfer plus headers and
+        # the light background trickle.
+        assert observed >= transfer_bytes
+        assert observed <= transfer_bytes * 1.15
+
+    def test_burst_visible_at_correct_time(self, sampler_config):
+        rack = build_rack(servers=4, sampler_config=sampler_config,
+                          rng=np.random.default_rng(3))
+        sync = SyncMillisampler()
+        start_at = 3 * sampler_config.duration
+        sync_id = sync.request_collection(
+            rack.sampled_hosts, rack.name, "RegA", start_at, now=0.0
+        )
+        add_background_trickle(rack)
+        server = BurstServer(rack.hosts[0])
+        burst_at = start_at + 0.05
+        rack.engine.at(
+            burst_at,
+            lambda: server.transmit_burst(rack.hosts[1].name, int(2 * units.MB)),
+        )
+        drive(rack, sync, sampler_config, start_at)
+
+        sync_run = sync.assemble(sync_id)
+        receiver_index = [r.meta.host for r in sync_run.runs].index(rack.hosts[1].name)
+        bursts = detect_run_bursts(sync_run)
+        receiver_bursts = [b for b in bursts if b.server == receiver_index]
+        assert receiver_bursts
+        burst = max(receiver_bursts, key=lambda b: b.volume)
+        # The 2 MB burst lasts ~1.3 ms; at 1 ms sampling its detected
+        # volume depends on bucket phase, but the bytes around the burst
+        # window must account for the whole transfer.
+        receiver_run = sync_run.runs[receiver_index]
+        window_lo = max(burst.start - 1, 0)
+        window_hi = min(burst.end + 1, receiver_run.buckets)
+        window_bytes = receiver_run.in_bytes[window_lo:window_hi].sum()
+        assert window_bytes >= 1.9 * units.MB
+        assert burst.volume >= 0.9 * units.MB
+
+
+class TestIncastLossPipeline:
+    def test_incast_produces_retransmit_labels_in_sampler_data(self):
+        """Heavy incast into a tiny buffer loses packets; the retransmit
+        label bit must surface in the receiver's Millisampler run, and
+        the burst must be classified lossy (Section 8 methodology)."""
+        sampler_config = SamplerConfig(buckets=400, cpus=4)
+        # A ~1 MB shared buffer: big enough that the synchronized slam
+        # delivers at line rate for a millisecond (a detectable burst),
+        # small enough that it overflows (loss).
+        rack_config = RackConfig(
+            servers=10,
+            buffer=BufferConfig(
+                shared_bytes=1_000_000,
+                dedicated_bytes_per_queue=0,
+                alpha=1.0,
+                ecn_threshold_bytes=1e12,  # no ECN: force loss
+            ),
+        )
+        rack = build_rack(
+            servers=10, rack_config=rack_config, sampler_config=sampler_config,
+            rng=np.random.default_rng(4),
+        )
+        add_background_trickle(rack)
+        sync = SyncMillisampler()
+        start_at = 3 * sampler_config.duration
+        sync_id = sync.request_collection(
+            rack.sampled_hosts, rack.name, "RegA", start_at, now=0.0
+        )
+        app = IncastApp(
+            senders=rack.hosts[1:9],
+            receiver=rack.hosts[0],
+            bytes_per_sender=300_000,
+            segment_bytes=8 * 1024,
+            # A large initial window makes the synchronized slam exceed
+            # 50% of line rate in its first millisecond (heavy incast).
+            initial_cwnd_segments=130,
+        )
+        app.start(at_time=start_at + 0.02)
+        drive(rack, sync, sampler_config, start_at, extra_time=0.6)
+
+        assert rack.switch.counters.discard_packets > 0
+        sync_run = sync.assemble(sync_id)
+        receiver_run = next(
+            r for r in sync_run.runs if r.meta.host == rack.hosts[0].name
+        )
+        assert receiver_run.in_retx_bytes.sum() > 0
+
+        # Incast collapse repairs losses via RTO (>= 5 ms in this stack),
+        # so widen the retransmission-observation lag accordingly.
+        summary = summarize_run(sync_run, loss_lag_buckets=30)
+        lossy_bursts = [b for b in summary.bursts if b.lossy]
+        assert lossy_bursts
+
+
+class TestFluidVsPacketConsistency:
+    def test_same_metrics_schema(self, small_ctx):
+        """Fluid-model summaries and packet-level summaries are the same
+        type, so every analysis runs on both substrates."""
+        fluid_summary = small_ctx.summaries("RegA")[0]
+        assert fluid_summary.contention.mean >= 0
+        assert fluid_summary.servers == 92

@@ -1,0 +1,197 @@
+"""Tests for the shared-memory buffer with dynamic thresholds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BufferConfig
+from repro.errors import SimulationError
+from repro.simnet.buffer import SharedBuffer
+
+
+def make_buffer(alpha=1.0, shared=1000, dedicated=0.0) -> SharedBuffer:
+    return SharedBuffer(
+        BufferConfig(
+            shared_bytes=shared,
+            dedicated_bytes_per_queue=dedicated,
+            alpha=alpha,
+            ecn_threshold_bytes=100,
+        )
+    )
+
+
+class TestDynamicThreshold:
+    def test_empty_buffer_threshold(self):
+        buffer = make_buffer(alpha=1.0, shared=1000)
+        assert buffer.threshold() == 1000.0
+
+    def test_threshold_shrinks_with_occupancy(self):
+        buffer = make_buffer(alpha=1.0, shared=1000)
+        buffer.register_queue("q0")
+        buffer.admit("q0", 400)
+        assert buffer.threshold() == 600.0
+
+    def test_single_queue_limited_to_half_at_alpha_1(self):
+        """Section 3: 'the maximum buffer that a single queue can
+        consume in an otherwise empty buffer is 50%'."""
+        buffer = make_buffer(alpha=1.0, shared=1000)
+        buffer.register_queue("q0")
+        admitted = 0
+        while buffer.admit("q0", 10).accepted:
+            admitted += 10
+        assert admitted == pytest.approx(500, abs=10)
+
+    def test_two_queues_get_a_third_each(self):
+        buffer = make_buffer(alpha=1.0, shared=900)
+        for name in ("q0", "q1"):
+            buffer.register_queue(name)
+        admitted = {"q0": 0, "q1": 0}
+        progress = True
+        while progress:
+            progress = False
+            for name in admitted:
+                if buffer.admit(name, 10).accepted:
+                    admitted[name] += 10
+                    progress = True
+        assert admitted["q0"] == pytest.approx(300, abs=20)
+        assert admitted["q1"] == pytest.approx(300, abs=20)
+
+    def test_alpha_2_single_queue_gets_two_thirds(self):
+        buffer = make_buffer(alpha=2.0, shared=900)
+        buffer.register_queue("q0")
+        admitted = 0
+        while buffer.admit("q0", 10).accepted:
+            admitted += 10
+        assert admitted == pytest.approx(600, abs=10)
+
+
+class TestAdmission:
+    def test_dedicated_consumed_first(self):
+        buffer = make_buffer(shared=1000, dedicated=100)
+        buffer.register_queue("q0")
+        admission = buffer.admit("q0", 80)
+        assert admission.accepted
+        assert admission.dedicated_bytes == 80
+        assert admission.shared_bytes == 0
+
+    def test_spill_into_shared(self):
+        buffer = make_buffer(shared=1000, dedicated=100)
+        buffer.register_queue("q0")
+        admission = buffer.admit("q0", 150)
+        assert admission.dedicated_bytes == 100
+        assert admission.shared_bytes == 50
+        assert buffer.shared_occupancy == 50
+
+    def test_atomic_rejection(self):
+        """A packet that does not fully fit is rejected whole."""
+        buffer = make_buffer(alpha=1.0, shared=100, dedicated=0)
+        buffer.register_queue("q0")
+        buffer.admit("q0", 45)
+        # Threshold is now 55; a 60-byte packet must be rejected whole.
+        admission = buffer.admit("q0", 60)
+        assert not admission.accepted
+        assert buffer.shared_occupancy == 45
+
+    def test_discard_accounting(self):
+        buffer = make_buffer(shared=100)
+        buffer.register_queue("q0")
+        buffer.admit("q0", 60)
+        buffer.admit("q0", 60)
+        packets, size = buffer.discards("q0")
+        assert packets == 1
+        assert size == 60
+        assert buffer.total_discard_bytes() == 60
+
+    def test_unknown_queue_rejected(self):
+        buffer = make_buffer()
+        with pytest.raises(SimulationError):
+            buffer.admit("missing", 10)
+
+    def test_duplicate_registration_rejected(self):
+        buffer = make_buffer()
+        buffer.register_queue("q0")
+        with pytest.raises(SimulationError):
+            buffer.register_queue("q0")
+
+    def test_zero_size_rejected(self):
+        buffer = make_buffer()
+        buffer.register_queue("q0")
+        with pytest.raises(SimulationError):
+            buffer.admit("q0", 0)
+
+
+class TestRelease:
+    def test_release_returns_bytes(self):
+        buffer = make_buffer(shared=1000, dedicated=50)
+        buffer.register_queue("q0")
+        admission = buffer.admit("q0", 120)
+        buffer.release("q0", admission)
+        assert buffer.shared_occupancy == 0
+        assert buffer.queue_occupancy("q0") == 0
+
+    def test_double_release_rejected(self):
+        buffer = make_buffer(shared=1000)
+        buffer.register_queue("q0")
+        admission = buffer.admit("q0", 100)
+        buffer.release("q0", admission)
+        with pytest.raises(SimulationError):
+            buffer.release("q0", admission)
+
+    def test_release_rejected_admission(self):
+        buffer = make_buffer(shared=10)
+        buffer.register_queue("q0")
+        rejected = buffer.admit("q0", 100)
+        with pytest.raises(SimulationError):
+            buffer.release("q0", rejected)
+
+
+class TestActiveQueues:
+    def test_active_queue_counting(self):
+        buffer = make_buffer(shared=1000)
+        for name in ("a", "b", "c"):
+            buffer.register_queue(name)
+        assert buffer.active_queues() == 0
+        buffer.admit("a", 10)
+        keep = buffer.admit("b", 10)
+        assert buffer.active_queues() == 2
+        buffer.release("b", keep)
+        assert buffer.active_queues() == 1
+
+    def test_counters_reset(self):
+        buffer = make_buffer(shared=50)
+        buffer.register_queue("q0")
+        buffer.admit("q0", 40)
+        buffer.admit("q0", 40)  # discarded
+        buffer.reset_counters()
+        assert buffer.total_discard_bytes() == 0
+        assert buffer.total_admitted_bytes() == 0
+
+
+class TestInvariants:
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 400)), max_size=200
+        )
+    )
+    @settings(max_examples=40)
+    def test_occupancy_never_exceeds_capacity(self, operations):
+        """Under any admission sequence, shared occupancy stays within
+        [0, shared_bytes] and per-queue accounting is consistent."""
+        buffer = make_buffer(alpha=2.0, shared=1000, dedicated=50)
+        queues = [f"q{i}" for i in range(4)]
+        for name in queues:
+            buffer.register_queue(name)
+        held: list[tuple[str, object]] = []
+        for queue_index, size in operations:
+            name = queues[queue_index]
+            admission = buffer.admit(name, size)
+            if admission.accepted:
+                held.append((name, admission))
+            assert 0 <= buffer.shared_occupancy <= 1000
+        total_queue_shared = sum(
+            max(buffer.queue_occupancy(name) - 50, 0) for name in queues
+        )
+        # Per-queue occupancies must be consistent with the pool.
+        assert buffer.shared_occupancy <= total_queue_shared + 1e-9
+        for name, admission in held:
+            buffer.release(name, admission)
+        assert buffer.shared_occupancy == 0

@@ -1,0 +1,58 @@
+"""Tests for host clocks and NTP discipline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.clock import HostClock, NtpDiscipline, max_pairwise_skew
+
+
+class TestHostClock:
+    def test_perfect_clock(self):
+        clock = HostClock()
+        assert clock.read(123.456) == 123.456
+        assert clock.error_at(50.0) == 0.0
+
+    def test_offset(self):
+        clock = HostClock(offset=0.001)
+        assert clock.read(10.0) == pytest.approx(10.001)
+
+    def test_drift_accumulates(self):
+        clock = HostClock(drift_ppm=10.0, epoch=0.0)
+        assert clock.error_at(100.0) == pytest.approx(100.0 * 10e-6)
+
+    @given(
+        offset=st.floats(-1e-3, 1e-3),
+        drift=st.floats(-50, 50),
+        t=st.floats(0, 1e5),
+    )
+    @settings(max_examples=50)
+    def test_invert_roundtrip(self, offset, drift, t):
+        clock = HostClock(offset=offset, drift_ppm=drift)
+        host_time = clock.read(t)
+        assert clock.invert(host_time) == pytest.approx(t, abs=1e-6)
+
+
+class TestNtpDiscipline:
+    def test_offsets_bounded(self):
+        discipline = NtpDiscipline(
+            offset_std=100e-6, max_offset=500e-6, rng=np.random.default_rng(0)
+        )
+        clocks = discipline.make_clocks(200)
+        assert all(abs(clock.offset) <= 500e-6 for clock in clocks)
+
+    def test_sub_millisecond_skew(self):
+        """Section 4.5: host clocks are synchronized well below the 1 ms
+        sampling interval."""
+        discipline = NtpDiscipline(rng=np.random.default_rng(1))
+        clocks = discipline.make_clocks(100)
+        assert max_pairwise_skew(clocks, true_time=10.0) < 1.1e-3
+
+    def test_empty_skew(self):
+        assert max_pairwise_skew([], 0.0) == 0.0
+
+    def test_deterministic_given_rng(self):
+        a = NtpDiscipline(rng=np.random.default_rng(7)).make_clock()
+        b = NtpDiscipline(rng=np.random.default_rng(7)).make_clock()
+        assert a.offset == b.offset
+        assert a.drift_ppm == b.drift_ppm

@@ -1,0 +1,141 @@
+"""Tests for the fabric layer and multi-rack pods."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.config import BufferConfig
+from repro.errors import SimulationError
+from repro.simnet.fabric import FABRIC_BUFFER, FabricSwitch, build_pod
+from repro.simnet.packet import FlowKey, Packet
+from repro.simnet.tcp import DctcpControl, open_connection
+
+
+class TestBuildPod:
+    def test_pod_wiring(self):
+        pod = build_pod(racks=3, servers_per_rack=4)
+        assert len(pod.racks) == 3
+        assert pod.fabric.racks == ["rack0", "rack1", "rack2"]
+        assert pod.host("rack1-s2").name == "rack1-s2"
+
+    def test_unknown_host_rejected(self):
+        pod = build_pod(racks=1, servers_per_rack=2)
+        with pytest.raises(SimulationError):
+            pod.host("ghost")
+
+    def test_zero_racks_rejected(self):
+        with pytest.raises(SimulationError):
+            build_pod(racks=0)
+
+    def test_double_attach_rejected(self):
+        pod = build_pod(racks=1, servers_per_rack=2)
+        with pytest.raises(SimulationError):
+            pod.fabric.attach_rack(pod.racks[0])
+
+
+class TestCrossRackForwarding:
+    def test_intra_rack_bypasses_fabric(self):
+        pod = build_pod(racks=2, servers_per_rack=4)
+        a, b = pod.racks[0].hosts[0], pod.racks[0].hosts[1]
+        received = []
+        b.default_handler = received.append
+        a.send(Packet(a.name, b.name, 1000, FlowKey(a.name, b.name)))
+        pod.engine.run()
+        assert len(received) == 1
+        assert pod.fabric.forwarded_bytes == 0
+
+    def test_cross_rack_goes_through_fabric(self):
+        pod = build_pod(racks=2, servers_per_rack=4)
+        a, b = pod.racks[0].hosts[0], pod.racks[1].hosts[0]
+        received = []
+        b.default_handler = received.append
+        a.send(Packet(a.name, b.name, 1000, FlowKey(a.name, b.name)))
+        pod.engine.run()
+        assert len(received) == 1
+        assert pod.fabric.forwarded_bytes == 1000
+
+    def test_cross_rack_tcp_transfer(self):
+        pod = build_pod(racks=3, servers_per_rack=4)
+        sender, receiver = open_connection(
+            pod.racks[0].hosts[0], pod.racks[2].hosts[1], DctcpControl(mss=1448)
+        )
+        sender.send(1_000_000)
+        pod.engine.run_until(1.0)
+        assert sender.done
+        assert receiver.received_payload == 1_000_000
+
+    def test_unroutable_destination_rejected(self):
+        pod = build_pod(racks=1, servers_per_rack=2)
+        with pytest.raises(SimulationError):
+            pod.fabric.forward(Packet("x", "nowhere", 100, FlowKey("x", "nowhere")))
+
+
+class TestFabricBuffering:
+    def test_fabric_has_larger_headroom_than_tor(self):
+        """The Section 8.1 premise: the fabric's ASICs have larger
+        buffers (and faster links) than the studied ToRs."""
+        tor = BufferConfig()
+        assert FABRIC_BUFFER.shared_bytes > 4 * tor.shared_bytes
+        assert FABRIC_BUFFER.alpha >= tor.alpha
+
+    def test_fabric_discards_under_extreme_fanin(self):
+        """Cram many racks' uplinks into one downlink: the fabric buffer
+        eventually discards, and the counter records it."""
+        pod = build_pod(
+            racks=4,
+            servers_per_rack=2,
+            fabric_buffer=BufferConfig(
+                shared_bytes=50_000, dedicated_bytes_per_queue=0,
+                alpha=1.0, ecn_threshold_bytes=1e12,
+            ),
+        )
+        # Slow the target downlink so the burst must queue.
+        pod.fabric._downlinks["rack0"].rate = units.gbps(1)
+        target = pod.racks[0].hosts[0]
+        flows = 0
+        for rack in pod.racks[1:]:
+            for host in rack.hosts:
+                flow = FlowKey(host.name, target.name, 7000 + flows, 7000)
+                for k in range(20):
+                    host.send(
+                        Packet(host.name, target.name, 16_000, flow, seq=k * 16_000,
+                               payload=16_000)
+                    )
+                flows += 1
+        pod.engine.run_until(1.0)
+        assert pod.fabric.discard_bytes > 0
+
+    def test_downlink_occupancy_visible(self):
+        pod = build_pod(racks=2, servers_per_rack=2)
+        assert pod.fabric.downlink_occupancy("rack1") == 0
+        with pytest.raises(SimulationError):
+            pod.fabric.downlink_occupancy("ghost")
+
+
+class TestFabricSmoothing:
+    def test_fabric_smooths_bursts_arriving_at_tor(self):
+        """Section 8.1: fabric traversal results in 'somewhat smoother
+        bursts arriving downstream at the racks' — a burst that would
+        arrive at 4x the server rate is paced by the fabric downlink
+        and the ToR sees a longer, flatter arrival."""
+        pod = build_pod(racks=2, servers_per_rack=2)
+        # Constrain the downlink to just above server speed.
+        pod.fabric._downlinks["rack0"].rate = units.gbps(25)
+        target = pod.racks[0].hosts[0]
+        source = pod.racks[1].hosts[0]
+        source.uplink.rate = units.gbps(100)  # bursts at 8x server rate
+        arrivals = []
+        target.default_handler = lambda p: arrivals.append(pod.engine.now)
+        flow = FlowKey(source.name, target.name, 1, 2)
+        for k in range(64):
+            source.send(
+                Packet(source.name, target.name, 16_000, flow, seq=k * 16_000,
+                       payload=16_000)
+            )
+        pod.engine.run_until(1.0)
+        assert len(arrivals) == 64
+        span = max(arrivals) - min(arrivals)
+        # At 100 Gbps the 1 MB burst spans ~82 us; after the 25 Gbps
+        # fabric hop and the 12.5 Gbps server link it is stretched well
+        # past that — smoothing.
+        assert span > 3 * (64 * 16_000 / units.gbps(100))

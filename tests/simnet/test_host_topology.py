@@ -1,0 +1,142 @@
+"""Tests for hosts, tap chains, and rack topology assembly."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.config import SamplerConfig
+from repro.core.millisampler import Direction
+from repro.errors import SimulationError
+from repro.simnet.host import Host
+from repro.simnet.engine import Engine
+from repro.simnet.packet import FlowKey, Packet
+from repro.simnet.tap import TapChain, rss_cpu
+from repro.simnet.topology import build_rack
+
+
+class RecordingTap:
+    def __init__(self):
+        self.seen = []
+
+    def on_packet(self, packet, direction, now):
+        self.seen.append((packet.packet_id, direction, now))
+
+
+class TestTapChain:
+    def test_dispatch_order(self):
+        chain = TapChain()
+        first, second = RecordingTap(), RecordingTap()
+        chain.attach(first)
+        chain.attach(second)
+        packet = Packet("a", "b", 100, FlowKey("a", "b"))
+        chain.dispatch(packet, Direction.INGRESS, 1.0)
+        assert first.seen and second.seen
+
+    def test_double_attach_rejected(self):
+        chain = TapChain()
+        tap = RecordingTap()
+        chain.attach(tap)
+        with pytest.raises(ValueError):
+            chain.attach(tap)
+
+    def test_detach(self):
+        chain = TapChain()
+        tap = RecordingTap()
+        chain.attach(tap)
+        chain.detach(tap)
+        assert len(chain) == 0
+
+    def test_rss_cpu_consistent_per_flow(self):
+        packet1 = Packet("a", "b", 10, FlowKey("a", "b", 1, 2))
+        packet2 = Packet("a", "b", 99, FlowKey("a", "b", 1, 2))
+        assert rss_cpu(packet1, 8) == rss_cpu(packet2, 8)
+
+
+class TestHost:
+    def test_send_requires_connection(self):
+        host = Host(Engine(), "h0")
+        with pytest.raises(SimulationError):
+            host.send(Packet("h0", "x", 100, FlowKey("h0", "x")))
+
+    def test_send_rejects_spoofed_source(self):
+        host = Host(Engine(), "h0")
+        host.connect(lambda p: None)
+        with pytest.raises(SimulationError):
+            host.send(Packet("other", "x", 100, FlowKey("other", "x")))
+
+    def test_taps_see_both_directions(self):
+        engine = Engine()
+        host = Host(engine, "h0")
+        host.connect(lambda p: None)
+        tap = RecordingTap()
+        host.taps.attach(tap)
+        host.send(Packet("h0", "x", 100, FlowKey("h0", "x")))
+        host.deliver(Packet("x", "h0", 200, FlowKey("x", "h0")))
+        directions = [d for _, d, _ in tap.seen]
+        assert Direction.EGRESS in directions
+        assert Direction.INGRESS in directions
+
+    def test_flow_demux(self):
+        host = Host(Engine(), "h0")
+        flow = FlowKey("x", "h0", 5, 6)
+        got = []
+        host.register_flow(flow, got.append)
+        fallback = []
+        host.default_handler = fallback.append
+        host.deliver(Packet("x", "h0", 100, flow))
+        host.deliver(Packet("y", "h0", 100, FlowKey("y", "h0", 7, 8)))
+        assert len(got) == 1
+        assert len(fallback) == 1
+
+    def test_duplicate_flow_registration_rejected(self):
+        host = Host(Engine(), "h0")
+        flow = FlowKey("x", "h0")
+        host.register_flow(flow, lambda p: None)
+        with pytest.raises(SimulationError):
+            host.register_flow(flow, lambda p: None)
+
+
+class TestBuildRack:
+    def test_rack_fully_wired(self):
+        rack = build_rack(servers=4)
+        assert len(rack.hosts) == 4
+        assert len(rack.sampled_hosts) == 4
+        assert set(rack.switch.servers) == {host.name for host in rack.hosts}
+
+    def test_hosts_can_exchange_traffic(self):
+        rack = build_rack(servers=2)
+        received = []
+        rack.hosts[1].default_handler = received.append
+        rack.hosts[0].send(
+            Packet(rack.hosts[0].name, rack.hosts[1].name, 1000,
+                   FlowKey(rack.hosts[0].name, rack.hosts[1].name))
+        )
+        rack.engine.run()
+        assert len(received) == 1
+
+    def test_millisampler_attached_to_each_host(self):
+        rack = build_rack(servers=3)
+        for host in rack.hosts:
+            assert len(host.taps) == 1
+
+    def test_clock_offsets_are_sub_millisecond(self):
+        rack = build_rack(servers=10, rng=np.random.default_rng(0))
+        offsets = [abs(host.clock.offset) for host in rack.hosts]
+        assert max(offsets) < 1e-3
+
+    def test_sampler_config_respected(self):
+        rack = build_rack(servers=2, sampler_config=SamplerConfig(buckets=500, cpus=2))
+        assert rack.sampled_hosts[0].sampler.buckets == 500
+        assert rack.sampled_hosts[0].sampler.cpus == 2
+
+    def test_lookup_helpers(self):
+        rack = build_rack(servers=2)
+        name = rack.hosts[1].name
+        assert rack.host_by_name(name) is rack.hosts[1]
+        assert rack.sampled_host_by_name(name).name == name
+        with pytest.raises(SimulationError):
+            rack.host_by_name("ghost")
+
+    def test_invalid_server_count(self):
+        with pytest.raises(SimulationError):
+            build_rack(servers=0)

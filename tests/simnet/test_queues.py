@@ -1,0 +1,102 @@
+"""Direct tests for the egress queue."""
+
+import pytest
+
+from repro.config import BufferConfig
+from repro.errors import SimulationError
+from repro.simnet.buffer import SharedBuffer
+from repro.simnet.engine import Engine
+from repro.simnet.packet import FlowKey, Packet
+from repro.simnet.queues import EgressQueue
+
+
+def make_queue(rate=1000.0, shared=10_000, dedicated=0, propagation=0.0):
+    engine = Engine()
+    buffer = SharedBuffer(
+        BufferConfig(
+            shared_bytes=shared, dedicated_bytes_per_queue=dedicated,
+            alpha=1.0, ecn_threshold_bytes=100,
+        )
+    )
+    delivered = []
+    queue = EgressQueue(
+        engine, buffer, "q0", rate,
+        on_dequeue=lambda p: delivered.append((engine.now, p)),
+        propagation_delay=propagation,
+    )
+    return engine, buffer, queue, delivered
+
+
+def packet(size=100):
+    return Packet("a", "b", size, FlowKey("a", "b"))
+
+
+class TestEgressQueue:
+    def test_fifo_order(self):
+        engine, _, queue, delivered = make_queue()
+        first, second = packet(100), packet(100)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        engine.run()
+        assert [p.packet_id for _, p in delivered] == [
+            first.packet_id, second.packet_id,
+        ]
+
+    def test_drain_rate_spacing(self):
+        engine, _, queue, delivered = make_queue(rate=1000.0)
+        queue.enqueue(packet(100))
+        queue.enqueue(packet(100))
+        engine.run()
+        times = [t for t, _ in delivered]
+        assert times[0] == pytest.approx(0.1)
+        assert times[1] == pytest.approx(0.2)
+
+    def test_propagation_delay_added(self):
+        engine, _, queue, delivered = make_queue(rate=1000.0, propagation=0.05)
+        queue.enqueue(packet(100))
+        engine.run()
+        assert delivered[0][0] == pytest.approx(0.15)
+
+    def test_buffer_released_on_dequeue(self):
+        engine, buffer, queue, _ = make_queue()
+        queue.enqueue(packet(100))
+        assert buffer.queue_occupancy("q0") == 100
+        engine.run()
+        assert buffer.queue_occupancy("q0") == 0
+
+    def test_rejected_when_buffer_full(self):
+        engine, buffer, queue, _ = make_queue(rate=1.0, shared=150)
+        assert queue.enqueue(packet(100))
+        # Threshold is now 50 (alpha=1): the second packet is rejected.
+        assert not queue.enqueue(packet(100))
+        assert buffer.total_discard_bytes() == 100
+
+    def test_occupancy_and_len(self):
+        engine, _, queue, _ = make_queue(rate=1.0)
+        queue.enqueue(packet(100))
+        queue.enqueue(packet(50))
+        assert len(queue) == 2
+        assert queue.occupancy == 150
+
+    def test_counters(self):
+        engine, _, queue, _ = make_queue()
+        queue.enqueue(packet(100))
+        queue.enqueue(packet(200))
+        engine.run()
+        assert queue.dequeued_packets == 2
+        assert queue.dequeued_bytes == 300
+
+    def test_drain_restarts_after_idle(self):
+        engine, _, queue, delivered = make_queue(rate=1000.0)
+        queue.enqueue(packet(100))
+        engine.run()
+        engine.at(1.0, lambda: queue.enqueue(packet(100)))
+        engine.run()
+        assert len(delivered) == 2
+        assert delivered[1][0] == pytest.approx(1.1)
+
+    def test_invalid_rate_rejected(self):
+        engine = Engine()
+        buffer = SharedBuffer(BufferConfig(shared_bytes=100, dedicated_bytes_per_queue=0))
+        with pytest.raises(SimulationError):
+            EgressQueue(engine, buffer, "q", 0.0, on_dequeue=lambda p: None)

@@ -1,0 +1,197 @@
+"""Tests for the ToR switch: forwarding, ECN, multicast, quadrants."""
+
+import pytest
+
+from repro import units
+from repro.config import BufferConfig
+from repro.errors import SimulationError
+from repro.simnet.engine import Engine
+from repro.simnet.packet import FlowKey, Packet
+from repro.simnet.switch import ToRSwitch
+
+
+def make_switch(engine=None, **buffer_kwargs):
+    engine = engine or Engine()
+    config = BufferConfig(**buffer_kwargs) if buffer_kwargs else None
+    return engine, ToRSwitch(engine, buffer_config=config)
+
+
+def data_packet(dst, size=1500, ecn_capable=True, **kwargs) -> Packet:
+    return Packet(
+        src="sender",
+        dst=dst,
+        size=size,
+        payload=size - 40,
+        flow=FlowKey("sender", dst, 1, 2),
+        ecn_capable=ecn_capable,
+        **kwargs,
+    )
+
+
+class TestForwarding:
+    def test_unicast_delivery(self):
+        engine, switch = make_switch()
+        received = []
+        switch.connect_server("s0", received.append, rate=units.gbps(12.5))
+        switch.forward(data_packet("s0"))
+        engine.run()
+        assert len(received) == 1
+        assert switch.counters.forwarded_bytes == 1500
+
+    def test_unknown_destination_rejected(self):
+        engine, switch = make_switch()
+        with pytest.raises(SimulationError):
+            switch.forward(data_packet("ghost"))
+
+    def test_duplicate_server_rejected(self):
+        engine, switch = make_switch()
+        switch.connect_server("s0", lambda p: None)
+        with pytest.raises(SimulationError):
+            switch.connect_server("s0", lambda p: None)
+
+    def test_servers_stripe_across_quadrants(self):
+        engine, switch = make_switch()
+        for i in range(8):
+            switch.connect_server(f"s{i}", lambda p: None)
+        quadrants = {switch.quadrant_for(f"s{i}") for i in range(8)}
+        assert len(quadrants) == units.NUM_QUADRANTS
+
+    def test_drain_rate_paces_delivery(self):
+        engine, switch = make_switch()
+        times = []
+        switch.connect_server(
+            "s0", lambda p: times.append(engine.now), rate=1500.0, propagation_delay=0.0
+        )
+        switch.forward(data_packet("s0", size=1500))
+        switch.forward(data_packet("s0", size=1500))
+        engine.run()
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+class TestEcnMarking:
+    def test_marks_when_queue_over_threshold(self):
+        engine, switch = make_switch(ecn_threshold_bytes=1000)
+        received = []
+        # Slow drain so the queue builds.
+        switch.connect_server("s0", received.append, rate=100.0)
+        for _ in range(5):
+            switch.forward(data_packet("s0", size=1500))
+        engine.run(max_events=1000)
+        assert any(packet.ecn_ce for packet in received)
+        # The first packet saw an empty queue: unmarked.
+        assert not received[0].ecn_ce
+
+    def test_non_ect_never_marked(self):
+        engine, switch = make_switch(ecn_threshold_bytes=10)
+        received = []
+        switch.connect_server("s0", received.append, rate=100.0)
+        for _ in range(5):
+            switch.forward(data_packet("s0", ecn_capable=False))
+        engine.run(max_events=1000)
+        assert not any(packet.ecn_ce for packet in received)
+
+    def test_acks_not_marked(self):
+        engine, switch = make_switch(ecn_threshold_bytes=10)
+        received = []
+        switch.connect_server("s0", received.append, rate=100.0)
+        for _ in range(3):
+            switch.forward(data_packet("s0"))
+        ack = Packet(
+            src="sender", dst="s0", size=64, flow=FlowKey("sender", "s0"), is_ack=True
+        )
+        switch.forward(ack)
+        engine.run(max_events=1000)
+        acks = [packet for packet in received if packet.is_ack]
+        assert acks and not acks[0].ecn_ce
+
+
+class TestDiscards:
+    def test_overflow_discards_counted(self):
+        engine, switch = make_switch(
+            shared_bytes=5000, dedicated_bytes_per_queue=0, alpha=1.0
+        )
+        dropped = []
+        switch.on_drop = lambda packet, server: dropped.append(server)
+        switch.connect_server("s0", lambda p: None, rate=10.0)  # barely drains
+        for _ in range(10):
+            switch.forward(data_packet("s0", size=1500))
+        assert switch.counters.discard_packets > 0
+        assert dropped and all(server == "s0" for server in dropped)
+        assert (
+            switch.counters.forwarded_bytes + switch.counters.discard_bytes
+            == switch.counters.ingress_bytes
+        )
+
+
+class TestMulticast:
+    def test_replication_to_members(self):
+        engine, switch = make_switch()
+        received = {name: [] for name in ("s0", "s1", "s2")}
+        for name in received:
+            switch.connect_server(name, received[name].append)
+        for name in ("s0", "s1"):
+            switch.join_multicast("g", name)
+        packet = data_packet("g", ecn_capable=False)
+        packet = Packet(
+            src="s2", dst="g", size=1000, flow=FlowKey("s2", "g"),
+            multicast_group="g", ecn_capable=False,
+        )
+        switch.forward(packet)
+        engine.run()
+        assert len(received["s0"]) == 1
+        assert len(received["s1"]) == 1
+        assert len(received["s2"]) == 0  # not a member
+
+    def test_sender_excluded_from_replication(self):
+        engine, switch = make_switch()
+        received = {name: [] for name in ("s0", "s1")}
+        for name in received:
+            switch.connect_server(name, received[name].append)
+            switch.join_multicast("g", name)
+        packet = Packet(
+            src="s0", dst="g", size=1000, flow=FlowKey("s0", "g"), multicast_group="g"
+        )
+        switch.forward(packet)
+        engine.run()
+        assert len(received["s0"]) == 0
+        assert len(received["s1"]) == 1
+
+    def test_join_requires_connected_server(self):
+        engine, switch = make_switch()
+        with pytest.raises(SimulationError):
+            switch.join_multicast("g", "ghost")
+
+    def test_rate_limiting_drops_replicas(self):
+        engine = Engine()
+        switch = ToRSwitch(engine, multicast_rate=1000.0)  # 1 KB/s
+        switch.connect_server("s0", lambda p: None)
+        switch.join_multicast("g", "s0")
+        for _ in range(100):
+            switch.forward(
+                Packet(src="x", dst="g", size=1000, flow=FlowKey("x", "g"),
+                       multicast_group="g")
+            )
+        assert switch.counters.multicast_rate_drops > 0
+
+    def test_leave_multicast(self):
+        engine, switch = make_switch()
+        switch.connect_server("s0", lambda p: None)
+        switch.join_multicast("g", "s0")
+        switch.leave_multicast("g", "s0")
+        assert switch.multicast_members("g") == []
+
+
+class TestTelemetry:
+    def test_snapshot_is_a_copy(self):
+        engine, switch = make_switch()
+        switch.connect_server("s0", lambda p: None)
+        snapshot = switch.snapshot_counters()
+        switch.forward(data_packet("s0"))
+        assert snapshot.ingress_bytes == 0
+        assert switch.counters.ingress_bytes == 1500
+
+    def test_queue_occupancy_visible(self):
+        engine, switch = make_switch()
+        switch.connect_server("s0", lambda p: None, rate=1.0)
+        switch.forward(data_packet("s0"))
+        assert switch.queue_occupancy("s0") == 1500

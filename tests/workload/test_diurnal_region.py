@@ -1,0 +1,97 @@
+"""Tests for diurnal profiles and region composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.diurnal import (
+    DiurnalProfile,
+    EVENING_PEAK_PROFILE,
+    FLAT_PROFILE,
+    MORNING_PEAK_PROFILE,
+)
+from repro.workload.region import REGION_A, REGION_B, RegionSpec, build_region_workloads
+from repro.workload.placement import SpreadPlacementPolicy, ColocatedPlacementPolicy
+
+
+class TestDiurnalProfile:
+    def test_needs_24_hours(self):
+        with pytest.raises(ConfigError):
+            DiurnalProfile("bad", (1.0,) * 23)
+
+    def test_positive_multipliers(self):
+        with pytest.raises(ConfigError):
+            DiurnalProfile("bad", (0.0,) + (1.0,) * 23)
+
+    def test_flat_profile_constant(self):
+        assert all(FLAT_PROFILE.at_hour(h) == 1.0 for h in range(24))
+
+    def test_morning_profile_peaks_in_window(self):
+        """The RegA pattern: peak between hours 4 and 10."""
+        assert 4 <= MORNING_PEAK_PROFILE.busiest_hour() <= 10
+        window_mean = np.mean([MORNING_PEAK_PROFILE.at_hour(h) for h in range(4, 11)])
+        night_mean = np.mean([MORNING_PEAK_PROFILE.at_hour(h) for h in range(14, 24)])
+        assert window_mean > 1.15 * night_mean
+
+    def test_evening_profile_peaks_late(self):
+        assert 16 <= EVENING_PEAK_PROFILE.busiest_hour() <= 22
+
+    def test_hour_wraps(self):
+        assert MORNING_PEAK_PROFILE.at_hour(25) == MORNING_PEAK_PROFILE.at_hour(1)
+
+    def test_sensitivity_scaling(self):
+        flat = MORNING_PEAK_PROFILE.scaled(0.0)
+        assert all(m == pytest.approx(1.0) for m in flat.multipliers)
+        full = MORNING_PEAK_PROFILE.scaled(1.0)
+        assert full.multipliers == MORNING_PEAK_PROFILE.multipliers
+        half = MORNING_PEAK_PROFILE.scaled(0.5)
+        peak = MORNING_PEAK_PROFILE.busiest_hour()
+        assert 1.0 < half.at_hour(peak) < MORNING_PEAK_PROFILE.at_hour(peak)
+
+
+class TestRegionSpecs:
+    def test_rega_has_colocated_fifth(self):
+        assert REGION_A.colocated_fraction == pytest.approx(0.20)
+
+    def test_regb_all_spread(self):
+        assert REGION_B.colocated_fraction == 0.0
+
+    def test_regb_runs_hotter(self):
+        assert REGION_B.load_scale > REGION_A.load_scale
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            RegionSpec(
+                name="bad",
+                colocated_fraction=1.5,
+                spread_policy=SpreadPlacementPolicy(),
+                colocated_policy=ColocatedPlacementPolicy(),
+                diurnal=FLAT_PROFILE,
+            )
+
+
+class TestBuildRegionWorkloads:
+    def test_colocated_count(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=50, rng=rng)
+        colocated = sum(1 for w in workloads if w.colocated)
+        assert colocated == 10  # 20% of 50
+
+    def test_rack_names_unique(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=30, rng=rng)
+        names = [w.rack for w in workloads]
+        assert len(names) == len(set(names))
+
+    def test_colocated_racks_are_ml_dense(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=50, rng=rng)
+        for workload in workloads:
+            if workload.colocated:
+                assert workload.placement.dominant_share() >= 0.55
+                assert workload.placement.dominant_task().startswith("ml_trainer")
+
+    def test_servers_per_rack_override(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=3, rng=rng, servers_per_rack=16)
+        assert all(w.placement.servers == 16 for w in workloads)
+
+    def test_zero_racks_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            build_region_workloads(REGION_A, racks=0, rng=rng)

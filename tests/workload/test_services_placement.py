@@ -1,0 +1,132 @@
+"""Tests for the service catalog and placement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.workload.placement import (
+    ColocatedPlacementPolicy,
+    RackPlacement,
+    SpreadPlacementPolicy,
+)
+from repro.workload.services import SERVICE_CATALOG, ServiceSpec, service_by_name
+
+
+class TestServiceCatalog:
+    def test_catalog_nonempty_and_unique(self):
+        names = [spec.name for spec in SERVICE_CATALOG]
+        assert len(names) == len(set(names))
+        assert len(names) >= 8
+
+    def test_lookup(self):
+        assert service_by_name("ml_trainer").name == "ml_trainer"
+        with pytest.raises(ConfigError):
+            service_by_name("nope")
+
+    def test_ml_trainer_is_persistent_and_dense(self):
+        """The properties the RegA-High mechanism depends on."""
+        ml = service_by_name("ml_trainer")
+        others = [spec for spec in SERVICE_CATALOG if spec.name != "ml_trainer"]
+        assert ml.sender_persistence >= 10.0
+        assert ml.active_probability > max(o.active_probability for o in others)
+        assert ml.burst_rate > np.median([o.burst_rate for o in others])
+
+    def test_request_response_services_have_fresh_senders(self):
+        for name in ("web", "cache", "api", "search", "pubsub"):
+            assert service_by_name(name).sender_persistence < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceSpec(
+                name="bad", burst_rate=-1, burst_volume_log_mu=0,
+                burst_volume_log_sigma=1, burst_intensity_mean=0.5,
+                burst_intensity_std=0.1, baseline_utilization=0.1,
+                base_connections=1, burst_connections=1,
+            )
+        with pytest.raises(ConfigError):
+            ServiceSpec(
+                name="bad", burst_rate=1, burst_volume_log_mu=0,
+                burst_volume_log_sigma=1, burst_intensity_mean=0.5,
+                burst_intensity_std=0.1, baseline_utilization=1.5,
+                base_connections=1, burst_connections=1,
+            )
+
+
+class TestRackPlacement:
+    def test_distinct_and_dominant(self):
+        spec = service_by_name("web")
+        placement = RackPlacement(
+            "r0", ("a", "a", "a", "b"), (spec, spec, spec, spec)
+        )
+        assert placement.distinct_tasks() == 2
+        assert placement.dominant_task() == "a"
+        assert placement.dominant_share() == 0.75
+
+    def test_alignment_required(self):
+        spec = service_by_name("web")
+        with pytest.raises(ConfigError):
+            RackPlacement("r0", ("a",), (spec, spec))
+
+
+class TestSpreadPolicy:
+    def test_covers_all_servers(self, rng):
+        placement = SpreadPlacementPolicy().place("r0", 92, rng)
+        assert placement.servers == 92
+
+    def test_distinct_tasks_near_mean(self, rng):
+        policy = SpreadPlacementPolicy(mean_distinct_tasks=14.0)
+        counts = [policy.place(f"r{i}", 92, rng).distinct_tasks() for i in range(40)]
+        assert 11 <= np.median(counts) <= 17
+
+    def test_dominant_share_moderate(self, rng):
+        """Paper Figure 11: typical racks' dominant task covers ~25%."""
+        policy = SpreadPlacementPolicy()
+        shares = [policy.place(f"r{i}", 92, rng).dominant_share() for i in range(40)]
+        assert 0.12 <= np.median(shares) <= 0.45
+
+    def test_service_weights_respected(self, rng):
+        policy = SpreadPlacementPolicy(service_weights={"ml_trainer": 0.0})
+        for i in range(10):
+            placement = policy.place(f"r{i}", 50, rng)
+            assert all(spec.name != "ml_trainer" for spec in placement.services)
+
+    def test_small_rack(self, rng):
+        placement = SpreadPlacementPolicy().place("r0", 2, rng)
+        assert placement.servers == 2
+
+    @given(servers=st.integers(2, 120), seed=st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_every_task_has_at_least_one_server(self, servers, seed):
+        rng = np.random.default_rng(seed)
+        placement = SpreadPlacementPolicy().place("r", servers, rng)
+        assert placement.servers == servers
+        # Realized distinct tasks never exceeds the server count.
+        assert 1 <= placement.distinct_tasks() <= servers
+
+
+class TestColocatedPolicy:
+    def test_dominant_share_in_band(self, rng):
+        """Paper: 60-100% of servers run the one ML task."""
+        policy = ColocatedPlacementPolicy()
+        shares = [policy.place(f"r{i}", 92, rng).dominant_share() for i in range(30)]
+        assert all(0.55 <= share <= 1.0 for share in shares)
+
+    def test_same_dominant_task_across_racks(self, rng):
+        """Section 7.1: 'the top task in each of the RegA-High racks was
+        the same (a machine learning task)'."""
+        policy = ColocatedPlacementPolicy()
+        dominants = {
+            policy.place(f"r{i}", 92, rng).dominant_task() for i in range(10)
+        }
+        assert len(dominants) == 1
+        assert dominants.pop().startswith("ml_trainer")
+
+    def test_few_distinct_tasks(self, rng):
+        policy = ColocatedPlacementPolicy()
+        counts = [policy.place(f"r{i}", 92, rng).distinct_tasks() for i in range(30)]
+        assert np.median(counts) <= 12
+
+    def test_invalid_share_bounds(self):
+        with pytest.raises(ConfigError):
+            ColocatedPlacementPolicy(dominant_share_low=0.9, dominant_share_high=0.5)

@@ -1,0 +1,59 @@
+"""Benchmarks — serial vs parallel region-day generation, and cache hits.
+
+The acceptance bar for the parallel path: >1.5x over serial at
+racks=20, runs_per_rack=4 on a machine with >= 4 cores.  Rack days are
+independent units of fluid-model work, so the fan-out scales close to
+linearly until the pool outnumbers the racks.
+
+On a single-core machine the parallel benchmark is skipped (there is
+nothing to win, only process overhead to pay).
+"""
+
+import os
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet.cache import DatasetCache
+from repro.fleet.dataset import generate_region_dataset
+from repro.workload.region import REGION_A
+
+#: Matches the bench_ctx scale so the acceptance comparison is direct.
+CONFIG = FleetConfig(racks_per_region=20, runs_per_rack=4, seed=11)
+EXPECTED_RUNS = CONFIG.racks_per_region * CONFIG.runs_per_rack
+
+CORES = os.cpu_count() or 1
+
+
+def test_bench_generate_region_serial(benchmark):
+    """Baseline: one process synthesizes every rack day."""
+    dataset = benchmark.pedantic(
+        lambda: generate_region_dataset(REGION_A, CONFIG, jobs=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(dataset.summaries) == EXPECTED_RUNS
+
+
+@pytest.mark.skipif(CORES < 2, reason="parallel generation needs multiple cores")
+def test_bench_generate_region_parallel(benchmark):
+    """Process-pool fan-out (compare against the serial baseline; the
+    ratio should exceed 1.5x on >= 4 cores)."""
+    jobs = min(4, CORES)
+    dataset = benchmark.pedantic(
+        lambda: generate_region_dataset(REGION_A, CONFIG, jobs=jobs),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(dataset.summaries) == EXPECTED_RUNS
+
+
+def test_bench_cache_hit(benchmark, tmp_path):
+    """A warm cache load must be orders of magnitude under generation."""
+    cache = DatasetCache(str(tmp_path))
+    small = FleetConfig(racks_per_region=4, runs_per_rack=2, seed=11)
+    cache.store(REGION_A, small, generate_region_dataset(REGION_A, small))
+
+    dataset = benchmark(lambda: cache.load(REGION_A, small))
+    assert dataset is not None
+    assert len(dataset.summaries) == 8

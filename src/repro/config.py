@@ -124,6 +124,11 @@ class FleetConfig:
     runs_per_rack: int = 10
     hours: int = 24
     seed: int = 20221025  # IMC '22 started October 25, 2022.
+    #: Worker processes for dataset generation: 1 = serial, 0 = every
+    #: available core.  Execution-only — never changes the generated
+    #: data (per-(rack, run) seed streams make any fan-out identical),
+    #: and is therefore excluded from the dataset cache key.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.racks_per_region <= 0:
@@ -132,6 +137,8 @@ class FleetConfig:
             raise ConfigError("need at least one run per rack")
         if not 1 <= self.hours <= 24:
             raise ConfigError("hours must be within a day")
+        if self.jobs < 0:
+            raise ConfigError("jobs cannot be negative (0 means all cores)")
 
 
 #: The configuration used throughout the paper's analysis.

@@ -45,7 +45,11 @@ def resample_run(run: MillisamplerRun, start: float, buckets: int) -> Millisampl
     old_edges = run.meta.start_time + np.arange(run.buckets + 1) * interval
     new_edges = start + np.arange(buckets + 1) * interval
 
-    if new_edges[0] < old_edges[0] - 1e-12 or new_edges[-1] > old_edges[-1] + 1e-12:
+    # Tolerance scales with the bucket width: the bucket-count rounding in
+    # align_runs can place the last new edge up to ~1e-9 buckets past the
+    # source run's final edge.
+    tolerance = 1e-9 * interval
+    if new_edges[0] < old_edges[0] - tolerance or new_edges[-1] > old_edges[-1] + tolerance:
         raise AnalysisError("resample window extends beyond the source run")
 
     def resample_counts(series: np.ndarray) -> np.ndarray:
@@ -55,6 +59,11 @@ def resample_run(run: MillisamplerRun, start: float, buckets: int) -> Millisampl
 
     old_centers = old_edges[:-1] + interval / 2
     new_centers = new_edges[:-1] + interval / 2
+    # A new center can fall (within float tolerance) outside the span of
+    # the old centers at either end of the run.  np.interp *clamps* there,
+    # holding the first/last observed estimate flat — the right behavior
+    # for a level signal.  Deliberate: a refactor must not turn these edge
+    # values into NaN or linear extrapolation (pinned by tests).
     conn = np.interp(new_centers, old_centers, run.conn_estimate)
 
     meta = RunMetadata(
@@ -105,7 +114,11 @@ def align_runs(runs: list[MillisamplerRun]) -> list[MillisamplerRun]:
     interval = intervals.pop()
 
     start, end = common_window(runs)
-    buckets = int((end - start) / interval)
+    # Start times are sums of float intervals, so (end - start) / interval
+    # can land just under a whole bucket count (e.g. 86.99999999999999 for
+    # an exactly-87-bucket window); plain int() truncation would then drop
+    # the final bucket, or reject a valid one-bucket overlap outright.
+    buckets = int(np.floor((end - start) / interval + 1e-9))
     if buckets <= 0:
         raise AnalysisError("common window shorter than one bucket")
     return [resample_run(run, start, buckets) for run in runs]

@@ -21,7 +21,7 @@ the run.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -283,15 +283,14 @@ class Millisampler:
                     merged = merged.merge(self._sketches[cpu][bucket])
                 conn[bucket] = merged.estimate()
 
-        meta = self.meta.with_start(self._start_time)
-        meta = RunMetadata(
-            host=meta.host,
-            rack=meta.rack,
-            region=meta.region,
-            task=meta.task,
+        # One construction path: override only what the sampler owns (the
+        # observed start and its configured interval) and preserve every
+        # other metadata field, so extending RunMetadata cannot silently
+        # desync the read-out.
+        meta = replace(
+            self.meta,
             start_time=self._start_time,
             sampling_interval=self.sampling_interval,
-            line_rate=meta.line_rate,
         )
         return MillisamplerRun(
             meta=meta,

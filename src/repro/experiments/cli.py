@@ -43,6 +43,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", type=str, default=None,
                             help="directory for CSV series and text reports")
     run_parser.add_argument("--quiet", action="store_true")
+    _add_generation_args(run_parser)
 
     export_parser = sub.add_parser(
         "export",
@@ -69,7 +70,39 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--racks", type=int, default=60)
     report_parser.add_argument("--runs-per-rack", type=int, default=8)
     report_parser.add_argument("--seed", type=int, default=20221025)
+    _add_generation_args(report_parser)
     return parser
+
+
+def _add_generation_args(parser: argparse.ArgumentParser) -> None:
+    """Dataset-generation knobs shared by `run` and `report`.
+
+    The per-(rack, run) seed streams make generation identical for any
+    --jobs value, and the cache key covers everything that shapes the
+    data, so these flags change cost, never results.
+    """
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for dataset generation "
+             "(0 = all cores, 1 = serial; default 0)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="on-disk dataset cache directory (default "
+             "$MILLISAMPLER_CACHE_DIR or ~/.cache/millisampler-repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always regenerate datasets; neither read nor write the cache",
+    )
+
+
+def _cache_dir(args) -> str | None:
+    from ..fleet.cache import default_cache_dir
+
+    if args.no_cache:
+        return None
+    return args.cache_dir or default_cache_dir()
 
 
 def _export(args) -> int:
@@ -139,7 +172,9 @@ def _report(args) -> int:
             racks_per_region=args.racks,
             runs_per_rack=args.runs_per_rack,
             seed=args.seed,
-        )
+            jobs=args.jobs,
+        ),
+        cache_dir=_cache_dir(args),
     )
     path = write_report(
         ctx, args.out,
@@ -179,7 +214,9 @@ def main(argv: list[str] | None = None) -> int:
             racks_per_region=args.racks,
             runs_per_rack=args.runs_per_rack,
             seed=args.seed,
+            jobs=args.jobs,
         ),
+        cache_dir=_cache_dir(args),
         verbose=not args.quiet,
     )
     for experiment_id in requested:

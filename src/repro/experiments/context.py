@@ -20,6 +20,7 @@ from ..analysis.racks import (
 from ..analysis.summary import RunSummary
 from ..config import FleetConfig
 from ..errors import ConfigError
+from ..fleet.cache import DatasetCache
 from ..fleet.dataset import RegionDataset, generate_region_dataset
 from ..workload.region import REGION_A, REGION_B, RegionSpec
 
@@ -36,6 +37,8 @@ class ExperimentContext:
     busy_hour: int = BUSY_HOUR
     contention_split: float = DEFAULT_CONTENTION_SPLIT
     verbose: bool = False
+    #: Directory for the on-disk dataset cache; None disables caching.
+    cache_dir: str | None = None
     _datasets: dict[str, RegionDataset] = field(default_factory=dict, repr=False)
 
     @classmethod
@@ -56,16 +59,23 @@ class ExperimentContext:
         raise ConfigError(f"unknown region {region!r}")
 
     def dataset(self, region: str) -> RegionDataset:
-        """The region-day dataset, generated on first use."""
+        """The region-day dataset, generated (or cache-loaded) on first use."""
         if region not in self._datasets:
-            progress = None
-            if self.verbose:
-                def progress(done: int, total: int, _region: str = region) -> None:
-                    if done % 200 == 0 or done == total:
-                        print(f"  [{_region}] {done}/{total} rack runs")
-            self._datasets[region] = generate_region_dataset(
-                self._spec(region), self.fleet, progress=progress
-            )
+            spec = self._spec(region)
+            cache = DatasetCache(self.cache_dir) if self.cache_dir else None
+            dataset = cache.load(spec, self.fleet) if cache is not None else None
+            if dataset is None:
+                progress = None
+                if self.verbose:
+                    def progress(done: int, total: int, _region: str = region) -> None:
+                        if done % 200 == 0 or done == total:
+                            print(f"  [{_region}] {done}/{total} rack runs")
+                dataset = generate_region_dataset(spec, self.fleet, progress=progress)
+                if cache is not None:
+                    cache.store(spec, self.fleet, dataset)
+            elif self.verbose:
+                print(f"  [{region}] dataset loaded from cache")
+            self._datasets[region] = dataset
         return self._datasets[region]
 
     def summaries(self, region: str) -> list[RunSummary]:

@@ -20,15 +20,20 @@ preserves the mechanisms the paper's findings rest on:
 """
 
 from .buffermodel import FluidBufferModel, FluidBufferResult
+from .cache import DatasetCache, dataset_cache_key, default_cache_dir
 from .demand import DemandModel, ServerDemand
 from .rackrun import RackRunSynthesizer
 from .dataset import (
     DatasetSummary,
     RackDay,
+    RackRunPlan,
     RegionDataset,
     generate_region_dataset,
     generate_paper_dataset,
+    plan_region,
+    synthesize_rack_day,
 )
+from .parallel import generate_region_dataset_parallel, resolve_jobs
 
 __all__ = [
     "FluidBufferModel",
@@ -36,9 +41,17 @@ __all__ = [
     "DemandModel",
     "ServerDemand",
     "RackRunSynthesizer",
+    "DatasetCache",
     "DatasetSummary",
     "RackDay",
+    "RackRunPlan",
     "RegionDataset",
+    "dataset_cache_key",
+    "default_cache_dir",
     "generate_region_dataset",
     "generate_paper_dataset",
+    "generate_region_dataset_parallel",
+    "plan_region",
+    "resolve_jobs",
+    "synthesize_rack_day",
 ]

@@ -1,0 +1,148 @@
+"""Content-addressed on-disk cache for generated region datasets.
+
+Every figure and table draws on the same region-day of summaries, and
+generating one costs minutes of fluid-model time at paper scale.  The
+cache keys each :class:`RegionDataset` by a hash of everything that
+determines its contents — the :class:`RegionSpec`, the dataset-shaping
+fields of :class:`FleetConfig`, and a dataset-format version — so a
+given configuration pays generation once ever.
+
+Two properties matter more than cleverness here:
+
+* **Transparency** — a cache hit returns the exact summaries generation
+  would have produced (generation is deterministic per seed, and the
+  pickle round-trip preserves every float bit).  ``FleetConfig.jobs``
+  is deliberately *excluded* from the key: it changes how a dataset is
+  computed, never what it contains.
+* **Corruption tolerance** — a truncated, stale, or otherwise
+  unreadable entry is logged and treated as a miss; the dataset is
+  regenerated and the entry overwritten.  Entries are written via a
+  temp file + atomic rename so a crashed writer cannot leave a
+  half-written entry under the final name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+
+from ..config import FleetConfig
+from ..workload.region import RegionSpec
+from .dataset import RegionDataset
+
+logger = logging.getLogger(__name__)
+
+#: Bump whenever generation or the summary layout changes in a way that
+#: invalidates previously cached datasets.
+DATASET_FORMAT_VERSION = 1
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "MILLISAMPLER_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$MILLISAMPLER_CACHE_DIR`` or ``~/.cache/millisampler-repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "millisampler-repro")
+
+
+def _canonical(value):
+    """A JSON-ready, deterministic projection of config objects.
+
+    Handles the mix found in :class:`RegionSpec`: nested dataclasses,
+    plain policy classes (projected via ``vars``), dicts, and tuples.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return {
+            "__type__": type(value).__name__,
+            **{key: _canonical(item) for key, item in sorted(vars(value).items())},
+        }
+    return repr(value)
+
+
+def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
+    """Content hash of everything that determines a region-day's data."""
+    payload = {
+        "format": DATASET_FORMAT_VERSION,
+        "spec": _canonical(spec),
+        # Explicit field list rather than asdict(config): jobs (and any
+        # future execution-only knob) must not change the key.
+        "fleet": {
+            "racks_per_region": config.racks_per_region,
+            "runs_per_rack": config.runs_per_rack,
+            "hours": config.hours,
+            "seed": config.seed,
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest
+
+
+class DatasetCache:
+    """Directory of pickled region datasets keyed by content hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def path_for(self, spec: RegionSpec, config: FleetConfig) -> str:
+        key = dataset_cache_key(spec, config)
+        return os.path.join(self.directory, f"{spec.name}-{key}.pkl")
+
+    def load(self, spec: RegionSpec, config: FleetConfig) -> RegionDataset | None:
+        """The cached dataset, or None on a miss *or* an unreadable entry."""
+        path = self.path_for(spec, config)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload["format"] != DATASET_FORMAT_VERSION:
+                raise ValueError(f"format {payload['format']} != {DATASET_FORMAT_VERSION}")
+            dataset = payload["dataset"]
+            if not isinstance(dataset, RegionDataset) or dataset.region != spec.name:
+                raise ValueError("entry does not hold the requested region")
+            return dataset
+        except Exception as exc:  # corrupt entry: regenerate, overwrite
+            logger.warning("ignoring unreadable dataset cache entry %s: %s", path, exc)
+            return None
+
+    def store(self, spec: RegionSpec, config: FleetConfig, dataset: RegionDataset) -> str:
+        """Atomically write (or overwrite) the entry for this config."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(spec, config)
+        payload = {"format": DATASET_FORMAT_VERSION, "dataset": dataset}
+        handle, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                pickle.dump(payload, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path

@@ -6,6 +6,24 @@ server runs per region.  This module generates the synthetic
 equivalent at configurable scale, reducing every rack run to a
 :class:`~repro.analysis.summary.RunSummary` on the fly so memory stays
 bounded regardless of scale.
+
+Seeding
+-------
+Randomness is organized as a tree of independent streams derived from
+``(config.seed, crc32(region))`` with :class:`numpy.random.SeedSequence`
+spawn keys, instead of threading one sequential generator through the
+whole region:
+
+* one stream for task placement across the region's racks;
+* one stream per rack for its run-hour schedule;
+* one stream per (rack, run) for the synthesis of that rack run.
+
+Because each (rack, run) stream is derived purely from indices, any
+rack run can be synthesized in isolation — which is what makes
+generation embarrassingly parallel (see :mod:`repro.fleet.parallel`)
+and cacheable (see :mod:`repro.fleet.cache`).  For a fixed seed the
+summaries are identical whether the region is generated serially, by a
+process pool of any size, or loaded back from the on-disk cache.
 """
 
 from __future__ import annotations
@@ -21,6 +39,11 @@ from ..config import FleetConfig
 from ..errors import ConfigError
 from ..workload.region import RackWorkload, RegionSpec, REGION_A, REGION_B, build_region_workloads
 from .rackrun import RackRunSynthesizer
+
+#: Stream-tree branch tags (the first element of every spawn key).
+_PLACEMENT_STREAM = 0
+_HOURS_STREAM = 1
+_RUN_STREAM = 2
 
 
 @dataclass
@@ -88,6 +111,40 @@ class RegionDataset:
         )
 
 
+# -- seed-stream tree --------------------------------------------------------
+
+
+def _region_entropy(region: str, seed: int) -> tuple[int, int]:
+    """Root entropy for one region's stream tree.
+
+    Deterministic per-region salt: Python's hash() is salted per process
+    and would make "the same dataset" differ across runs, so the region
+    name is mixed in via crc32.  SeedSequence requires non-negative
+    entropy words.
+    """
+    return (seed % 2**63, zlib.crc32(region.encode("utf-8")))
+
+
+def _stream(region: str, seed: int, spawn_key: tuple[int, ...]) -> np.random.Generator:
+    sequence = np.random.SeedSequence(_region_entropy(region, seed), spawn_key=spawn_key)
+    return np.random.default_rng(sequence)
+
+
+def placement_rng(region: str, seed: int) -> np.random.Generator:
+    """The stream that places tasks on every rack of a region."""
+    return _stream(region, seed, (_PLACEMENT_STREAM,))
+
+
+def rack_hours_rng(region: str, seed: int, rack_index: int) -> np.random.Generator:
+    """The stream that schedules one rack's run hours."""
+    return _stream(region, seed, (_HOURS_STREAM, rack_index))
+
+
+def run_rng(region: str, seed: int, rack_index: int, run_index: int) -> np.random.Generator:
+    """The stream that synthesizes one rack run, independent of all others."""
+    return _stream(region, seed, (_RUN_STREAM, rack_index, run_index))
+
+
 def _run_hours(
     runs_per_rack: int, hours: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -104,6 +161,65 @@ def _run_hours(
     return np.sort(chosen)
 
 
+# -- generation plan ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RackRunPlan:
+    """Everything needed to synthesize one rack's day in isolation."""
+
+    rack_index: int
+    workload: RackWorkload
+    hours: tuple[int, ...]
+
+
+def plan_region(spec: RegionSpec, config: FleetConfig) -> list[RackRunPlan]:
+    """Deterministically place workloads and schedule every rack's runs.
+
+    The plan is cheap (no fluid-model time); the expensive synthesis of
+    each plan entry is independent of every other entry.
+    """
+    rng = placement_rng(spec.name, config.seed)
+    workloads = build_region_workloads(spec, config.racks_per_region, rng)
+    plans: list[RackRunPlan] = []
+    for rack_index, workload in enumerate(workloads):
+        hours = _run_hours(
+            config.runs_per_rack,
+            config.hours,
+            rack_hours_rng(spec.name, config.seed, rack_index),
+        )
+        plans.append(
+            RackRunPlan(
+                rack_index=rack_index,
+                workload=workload,
+                hours=tuple(int(hour) for hour in hours),
+            )
+        )
+    return plans
+
+
+def iter_rack_day(
+    plan: RackRunPlan,
+    config: FleetConfig,
+    synthesizer: RackRunSynthesizer | None = None,
+) -> Iterator[RunSummary]:
+    """Synthesize and reduce one rack's runs, one at a time."""
+    synthesizer = synthesizer or RackRunSynthesizer()
+    for run_index, hour in enumerate(plan.hours):
+        rng = run_rng(plan.workload.region, config.seed, plan.rack_index, run_index)
+        sync_run = synthesizer.synthesize(plan.workload, hour, rng)
+        yield summarize_run(sync_run)
+
+
+def synthesize_rack_day(
+    plan: RackRunPlan,
+    config: FleetConfig,
+    synthesizer: RackRunSynthesizer | None = None,
+) -> list[RunSummary]:
+    """One rack's reduced day — the unit of work a pool worker executes."""
+    return list(iter_rack_day(plan, config, synthesizer))
+
+
 def iter_region_summaries(
     spec: RegionSpec,
     config: FleetConfig,
@@ -115,22 +231,16 @@ def iter_region_summaries(
     Raw runs are reduced and discarded immediately; peak memory is one
     rack run.
     """
-    # Deterministic per-region seed: Python's hash() is salted per
-    # process and would make "the same dataset" differ across runs.
-    region_salt = zlib.crc32(spec.name.encode("utf-8"))
-    rng = np.random.default_rng((config.seed * 1_000_003 + region_salt) % 2**32)
     synthesizer = synthesizer or RackRunSynthesizer()
-    workloads = build_region_workloads(spec, config.racks_per_region, rng)
-    total = len(workloads) * config.runs_per_rack
+    plans = plan_region(spec, config)
+    total = len(plans) * config.runs_per_rack
     done = 0
-    for workload in workloads:
-        for hour in _run_hours(config.runs_per_rack, config.hours, rng):
-            sync_run = synthesizer.synthesize(workload, int(hour), rng)
-            summary = summarize_run(sync_run)
+    for plan in plans:
+        for summary in iter_rack_day(plan, config, synthesizer):
             done += 1
             if progress is not None:
                 progress(done, total)
-            yield summary, workload
+            yield summary, plan.workload
 
 
 def generate_region_dataset(
@@ -138,8 +248,25 @@ def generate_region_dataset(
     config: FleetConfig,
     synthesizer: RackRunSynthesizer | None = None,
     progress: Callable[[int, int], None] | None = None,
+    jobs: int | None = None,
 ) -> RegionDataset:
-    """Generate and reduce one region-day."""
+    """Generate and reduce one region-day.
+
+    ``jobs`` overrides ``config.jobs``: 1 synthesizes serially in this
+    process, N > 1 fans rack days out over a process pool, and 0 uses
+    every available core.  The result is identical for any job count.
+    """
+    resolved = config.jobs if jobs is None else jobs
+    from .parallel import resolve_jobs
+
+    resolved = resolve_jobs(resolved)
+    if resolved > 1:
+        from .parallel import generate_region_dataset_parallel
+
+        return generate_region_dataset_parallel(
+            spec, config, jobs=resolved, synthesizer=synthesizer, progress=progress
+        )
+
     summaries: list[RunSummary] = []
     workloads: dict[str, RackWorkload] = {}
     for summary, workload in iter_region_summaries(spec, config, synthesizer, progress):
@@ -153,6 +280,7 @@ def generate_region_dataset(
 def generate_paper_dataset(
     config: FleetConfig | None = None,
     progress: Callable[[str, int, int], None] | None = None,
+    jobs: int | None = None,
 ) -> dict[str, RegionDataset]:
     """Both regions of the paper's primary dataset."""
     config = config or FleetConfig()
@@ -164,6 +292,6 @@ def generate_paper_dataset(
             else None
         )
         datasets[spec.name] = generate_region_dataset(
-            spec, config, progress=region_progress
+            spec, config, progress=region_progress, jobs=jobs
         )
     return datasets

@@ -68,11 +68,20 @@ class RackRunSynthesizer:
         self,
         workload: RackWorkload,
         hour: int,
-        rng: np.random.Generator,
+        rng: np.random.Generator | np.random.SeedSequence,
         start_time: float = 0.0,
         buckets: int | None = None,
     ) -> SyncRun:
-        """One SyncMillisampler run for ``workload``'s rack at ``hour``."""
+        """One SyncMillisampler run for ``workload``'s rack at ``hour``.
+
+        ``rng`` may be a ready generator or a ``SeedSequence`` leaf of
+        the dataset's seed-stream tree (see :mod:`repro.fleet.dataset`);
+        passing the leaf keeps the run independent of every other run,
+        which is what allows rack runs to be synthesized in isolation
+        (in parallel workers, or one-off for debugging).
+        """
+        if isinstance(rng, np.random.SeedSequence):
+            rng = np.random.default_rng(rng)
         if not 0 <= hour < 24:
             raise SimulationError("hour must be in [0, 24)")
         buckets = buckets if buckets is not None else self._run_length(rng)

@@ -137,3 +137,66 @@ class TestAlignRuns:
         aligned = align_runs(runs)
         peaks = [int(np.argmax(run.in_bytes)) for run in aligned]
         assert abs(peaks[0] - peaks[1]) <= 1
+
+
+class TestBucketCountFloatError:
+    """int() truncation of (end - start) / interval dropped buckets.
+
+    Start times are sums of float intervals, so an exactly-N-bucket
+    common window can compute as N - epsilon; both cases below fail on
+    the pre-fix code (87 -> 86, and a valid 1-bucket overlap raising).
+    """
+
+    def test_exact_window_keeps_final_bucket(self):
+        # (0.11 - 0.023) / 0.001 == 86.99999999999999 in binary floats.
+        runs = [
+            make_run([1.0] * 100, start_time=0.010),
+            make_run([1.0] * 100, start_time=0.023),
+        ]
+        start, end = common_window(runs)
+        assert (end - start) / 0.001 < 87  # the float hazard is present
+        aligned = align_runs(runs)
+        assert all(run.buckets == 87 for run in aligned)
+
+    def test_one_bucket_overlap_is_valid(self):
+        # Window (0.010, 0.011): exactly one bucket, but the float ratio
+        # computes as 0.9999999999999991 and used to raise.
+        runs = [
+            make_run([1.0], start_time=0.010),
+            make_run([1.0] * 11, start_time=0.0),
+        ]
+        start, end = common_window(runs)
+        assert (end - start) / 0.001 < 1  # the float hazard is present
+        aligned = align_runs(runs)
+        assert all(run.buckets == 1 for run in aligned)
+
+
+class TestConnEstimateEdgeClamp:
+    """np.interp clamps conn_estimate at the half-bucket edges.
+
+    When a new center falls (within tolerance) outside the old centers,
+    the first/last observed estimate is held flat.  Pinned so a future
+    refactor does not turn the edges into NaN or extrapolation.
+    """
+
+    def test_leading_edge_clamps_to_first_estimate(self):
+        run = make_run([0.0] * 4, conns=[10.0, 20.0, 30.0, 40.0], start_time=0.0)
+        # A start a hair before the run (inside the resample tolerance)
+        # puts the first new center before the first old center.
+        resampled = resample_run(run, start=-1e-13, buckets=4)
+        assert np.all(np.isfinite(resampled.conn_estimate))
+        assert resampled.conn_estimate[0] == 10.0  # clamped, not extrapolated (< 10)
+
+    def test_trailing_edge_clamps_to_last_estimate(self):
+        run = make_run([0.0] * 4, conns=[10.0, 20.0, 30.0, 40.0], start_time=0.0)
+        # A start a hair after the run start pushes the last new center
+        # past the last old center.
+        resampled = resample_run(run, start=1e-13, buckets=4)
+        assert np.all(np.isfinite(resampled.conn_estimate))
+        assert resampled.conn_estimate[-1] == 40.0  # clamped, not extrapolated (> 40)
+
+    def test_interior_still_interpolated(self):
+        run = make_run([0.0] * 4, conns=[10.0, 20.0, 30.0, 40.0], start_time=0.0)
+        resampled = resample_run(run, start=-1e-13, buckets=4)
+        assert resampled.conn_estimate[1] == pytest.approx(20.0)
+        assert resampled.conn_estimate[2] == pytest.approx(30.0)

@@ -1,5 +1,7 @@
 """Tests for the Millisampler tc-filter state machine."""
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
@@ -234,3 +236,38 @@ class TestCostModel:
         sampler.finish(1.0)
         sampler.read_run()
         assert sampler.stats.cpu_ns == pytest.approx(88.0 + 4.3e6)
+
+
+@dataclass(frozen=True)
+class _PodMetadata(RunMetadata):
+    """RunMetadata extended the way a deployment might (regression rig)."""
+
+    pod: str = ""
+
+
+class TestReadRunMetadata:
+    def test_read_run_preserves_extended_metadata(self):
+        """read_run must flow every metadata field through one
+        construction path: hand-copying fields silently dropped anything
+        a RunMetadata extension carries (and its type)."""
+        meta = _PodMetadata(host="h0", rack="r0", region="RegA", task="web/1", pod="pod7")
+        sampler = make_sampler(meta=meta)
+        sampler.attach()
+        sampler.enable()
+        sampler.observe(obs(5.0, size=100))
+        sampler.finish(now=6.0)
+        run = sampler.read_run()
+        assert isinstance(run.meta, _PodMetadata)
+        assert run.meta.pod == "pod7"
+        assert run.meta.task == "web/1"
+        assert run.meta.start_time == 5.0
+
+    def test_read_run_applies_sampler_interval_override(self):
+        """The sampler's configured interval wins over the template's."""
+        meta = RunMetadata(host="h0", sampling_interval=123.0)
+        sampler = make_sampler(meta=meta, sampling_interval=2e-3)
+        sampler.attach()
+        sampler.enable()
+        sampler.observe(obs(0.0, size=100))
+        sampler.finish(now=1.0)
+        assert sampler.read_run().meta.sampling_interval == 2e-3

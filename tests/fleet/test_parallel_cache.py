@@ -1,0 +1,161 @@
+"""Determinism of parallel generation and the on-disk dataset cache.
+
+The tentpole guarantee: for a fixed seed, a region-day is byte-identical
+whether generated serially, by a process pool of any size, or loaded
+back from the cache.  The comparison below is exact float equality
+(with NaN treated as equal to NaN, since per-server stats carry NaN for
+burst-free servers), which is equivalent to byte identity for the
+summary dataclasses.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.errors import ConfigError
+from repro.experiments.context import ExperimentContext
+from repro.fleet import cache as cache_module
+from repro.fleet.cache import DatasetCache, dataset_cache_key, default_cache_dir
+from repro.fleet.dataset import generate_region_dataset
+from repro.fleet.parallel import resolve_jobs
+from repro.workload.region import REGION_A, REGION_B
+
+CONFIG = FleetConfig(racks_per_region=3, runs_per_rack=2, seed=77)
+
+
+def comparable(obj):
+    """Nested plain-value projection with NaN made comparable."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: comparable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, float):
+        return "nan" if math.isnan(obj) else obj
+    if isinstance(obj, (list, tuple)):
+        return [comparable(value) for value in obj]
+    if isinstance(obj, dict):
+        return {key: comparable(value) for key, value in obj.items()}
+    return obj
+
+
+def fingerprint(dataset):
+    return [comparable(summary) for summary in dataset.summaries]
+
+
+@pytest.fixture(scope="module")
+def serial_rega():
+    return generate_region_dataset(REGION_A, CONFIG, jobs=1)
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_rega(self, serial_rega):
+        parallel = generate_region_dataset(REGION_A, CONFIG, jobs=4)
+        assert fingerprint(parallel) == fingerprint(serial_rega)
+        assert [comparable(w) for w in parallel.workloads] == [
+            comparable(w) for w in serial_rega.workloads
+        ]
+
+    def test_parallel_matches_serial_regb(self):
+        serial = generate_region_dataset(REGION_B, CONFIG, jobs=1)
+        parallel = generate_region_dataset(REGION_B, CONFIG, jobs=3)
+        assert fingerprint(parallel) == fingerprint(serial)
+
+    def test_jobs_taken_from_config(self, serial_rega):
+        config = dataclasses.replace(CONFIG, jobs=2)
+        assert fingerprint(generate_region_dataset(REGION_A, config)) == fingerprint(
+            serial_rega
+        )
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+    def test_negative_jobs_rejected_by_config(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(jobs=-2)
+
+
+class TestDatasetCache:
+    def test_cache_hit_matches_generation(self, tmp_path, serial_rega):
+        cache = DatasetCache(str(tmp_path))
+        cache.store(REGION_A, CONFIG, serial_rega)
+        loaded = cache.load(REGION_A, CONFIG)
+        assert loaded is not None
+        assert fingerprint(loaded) == fingerprint(serial_rega)
+
+    def test_context_roundtrip_skips_generation(self, tmp_path, monkeypatch, serial_rega):
+        first = ExperimentContext(fleet=CONFIG, cache_dir=str(tmp_path))
+        warm = first.dataset("RegA")
+
+        # A fresh context must satisfy the same request purely from disk.
+        from repro.experiments import context as context_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit should not regenerate")
+
+        monkeypatch.setattr(context_module, "generate_region_dataset", boom)
+        second = ExperimentContext(fleet=CONFIG, cache_dir=str(tmp_path))
+        assert fingerprint(second.dataset("RegA")) == fingerprint(warm)
+        assert fingerprint(warm) == fingerprint(serial_rega)
+
+    def test_corrupted_entry_regenerates_and_overwrites(self, tmp_path, serial_rega):
+        cache = DatasetCache(str(tmp_path))
+        path = cache.store(REGION_A, CONFIG, serial_rega)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.load(REGION_A, CONFIG) is None
+
+        # The context treats it as a miss: regenerates, overwrites, and
+        # the entry is readable again.
+        ctx = ExperimentContext(fleet=CONFIG, cache_dir=str(tmp_path))
+        dataset = ctx.dataset("RegA")
+        assert fingerprint(dataset) == fingerprint(serial_rega)
+        assert fingerprint(cache.load(REGION_A, CONFIG)) == fingerprint(serial_rega)
+
+    def test_key_invalidates_on_config_change(self):
+        base = dataset_cache_key(REGION_A, CONFIG)
+        assert dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, seed=78)) != base
+        assert (
+            dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, racks_per_region=4))
+            != base
+        )
+        assert (
+            dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, runs_per_rack=3))
+            != base
+        )
+        assert dataset_cache_key(REGION_B, CONFIG) != base
+
+    def test_key_invalidates_on_format_version_change(self, monkeypatch):
+        base = dataset_cache_key(REGION_A, CONFIG)
+        monkeypatch.setattr(cache_module, "DATASET_FORMAT_VERSION", 999)
+        assert dataset_cache_key(REGION_A, CONFIG) != base
+
+    def test_stale_format_version_is_a_miss(self, tmp_path, monkeypatch, serial_rega):
+        cache = DatasetCache(str(tmp_path))
+        path = cache.store(REGION_A, CONFIG, serial_rega)
+        # Keep the key (file name) fixed but mark the payload stale, as
+        # an old writer would have: the loader must reject it.
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["format"] = 0
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert cache.load(REGION_A, CONFIG) is None
+
+    def test_jobs_excluded_from_key(self):
+        assert dataset_cache_key(
+            REGION_A, dataclasses.replace(CONFIG, jobs=1)
+        ) == dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, jobs=8))
+
+    def test_default_cache_dir_env_override(self, monkeypatch):
+        monkeypatch.setenv("MILLISAMPLER_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+        monkeypatch.delenv("MILLISAMPLER_CACHE_DIR")
+        assert default_cache_dir().endswith("millisampler-repro")

@@ -9,7 +9,7 @@ read-out, disabled fast path far cheaper than enabled — must hold.
 
 import numpy as np
 
-from repro.core.millisampler import CostModel, Direction, Millisampler, PacketObservation
+from repro.core.millisampler import Direction, Millisampler, PacketObservation
 from repro.core.run import RunMetadata
 from repro.experiments import perf_sampler
 

@@ -15,7 +15,7 @@ Run:  python examples/alpha_tuning_study.py
 
 import numpy as np
 
-from repro.config import BufferConfig, RackConfig
+from repro.config import BufferConfig
 from repro.fleet.buffermodel import FluidBufferModel
 from repro.fleet.demand import DemandModel
 from repro.viz.table import render_table

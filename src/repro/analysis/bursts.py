@@ -75,14 +75,21 @@ def detect_bursts(
     past the end of the burst: retransmissions repair a loss roughly an
     RTT after it happened, so a burst's losses surface slightly later
     (Section 4.6: "our analysis must look for retransmissions that
-    occur an RTT later").
+    occur an RTT later").  The window is clipped at the next burst's
+    first bucket — when two bursts sit closer together than the lag, an
+    unclipped window would sweep up the next burst's retransmissions,
+    double-counting the bytes and marking both bursts lossy from one
+    loss event.
     """
     if loss_lag_buckets < 0:
         raise AnalysisError("loss lag cannot be negative")
     mask = run.bursty_mask(threshold)
     bursts: list[Burst] = []
-    for start, end in _mask_segments(mask):
+    segments = _mask_segments(mask)
+    for index, (start, end) in enumerate(segments):
         window_end = min(end + loss_lag_buckets, run.buckets)
+        if index + 1 < len(segments):
+            window_end = min(window_end, segments[index + 1][0])
         retx = float(run.in_retx_bytes[start:window_end].sum())
         bursts.append(
             Burst(

@@ -11,7 +11,7 @@ interpolates them onto one uniform time base.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SamplerError
 from .alignment import align_runs

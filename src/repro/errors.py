@@ -25,3 +25,7 @@ class AnalysisError(ReproError):
 
 class StorageError(ReproError):
     """Host-local run storage failure (corrupt record, missing run)."""
+
+
+class ManifestError(ReproError):
+    """A run manifest does not conform to the documented schema."""

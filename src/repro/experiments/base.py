@@ -10,6 +10,23 @@ from ..viz.series import Series, write_csv
 from ..viz.table import render_table
 
 
+def format_metric(experiment_id: str, name: str, value) -> str:
+    """Render one headline metric value.
+
+    Metrics are documented as numeric (``name -> value`` floats); a
+    stray string or None would otherwise surface as a bare
+    ``TypeError``/``ValueError`` deep inside ``str.format`` while
+    rendering — long after the experiment that produced it returned.
+    """
+    try:
+        return f"{value:.6g}"
+    except (TypeError, ValueError):
+        raise AnalysisError(
+            f"{experiment_id} metric {name!r} has non-numeric value "
+            f"{value!r} ({type(value).__name__}); metric values must be numbers"
+        ) from None
+
+
 @dataclass
 class ResultTable:
     """One table of an experiment's output."""
@@ -49,7 +66,8 @@ class ExperimentResult:
             parts.append(table.render())
         if self.metrics:
             metric_lines = [
-                f"  {name} = {value:.6g}" for name, value in sorted(self.metrics.items())
+                f"  {name} = {format_metric(self.experiment_id, name, value)}"
+                for name, value in sorted(self.metrics.items())
             ]
             parts.append("Metrics:\n" + "\n".join(metric_lines))
         if self.notes:

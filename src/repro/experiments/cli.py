@@ -5,17 +5,24 @@ Examples::
     millisampler-repro list
     millisampler-repro run fig9 fig16 --racks 60
     millisampler-repro run all --out results/ --racks 150
+    millisampler-repro run all --exp-jobs 4 --manifest out/manifest.json
+
+Suite runs (`run`, `report`) go through the experiment orchestrator:
+every experiment executes inside its own failure boundary, so one
+broken experiment never kills the rest — the suite completes, prints a
+failure summary, and exits nonzero.  ``--manifest`` leaves a
+machine-readable JSON record (config, telemetry, per-experiment
+outcomes); ``--profile`` prints the timer/counter profile.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from ..config import FleetConfig
 from .context import ExperimentContext
-from .registry import EXPERIMENTS, get_experiment
+from .registry import EXPERIMENTS, ordered_ids
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +51,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="directory for CSV series and text reports")
     run_parser.add_argument("--quiet", action="store_true")
     _add_generation_args(run_parser)
+    _add_orchestration_args(run_parser)
 
     export_parser = sub.add_parser(
         "export",
@@ -71,7 +79,27 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--runs-per-rack", type=int, default=8)
     report_parser.add_argument("--seed", type=int, default=20221025)
     _add_generation_args(report_parser)
+    _add_orchestration_args(report_parser)
     return parser
+
+
+def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    """Orchestration/observability knobs shared by `run` and `report`."""
+    parser.add_argument(
+        "--exp-jobs", type=int, default=1,
+        help="run experiments on a thread pool of this size after a "
+             "shared dataset warm-up (0 = all cores, 1 = serial; "
+             "default 1); results are identical for any value",
+    )
+    parser.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help="write a JSON run manifest (config, telemetry, "
+             "per-experiment status/timing/memory) to PATH",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the timer/counter profile after the run",
+    )
 
 
 def _add_generation_args(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +141,18 @@ def _export(args) -> int:
     from ..io.msdata import write_sync_run
     from ..workload.region import REGION_A, REGION_B, build_region_workloads
 
+    # Run hours are drawn without replacement from the 24 hours of the
+    # region-day; validate here so the limit surfaces as a CLI error,
+    # not an opaque numpy ValueError from rng.choice.
+    if not 1 <= args.runs_per_rack <= 24:
+        print(
+            f"error: --runs-per-rack must be between 1 and 24 "
+            f"(each rack is sampled at distinct hours of one 24-hour "
+            f"day), got {args.runs_per_rack}",
+            file=sys.stderr,
+        )
+        return 2
+
     spec = REGION_A if args.region == "RegA" else REGION_B
     rng = np.random.default_rng(args.seed)
     synthesizer = RackRunSynthesizer()
@@ -143,7 +183,13 @@ def _analyze(args) -> int:
     if not bursts:
         print("no bursts found in the dataset")
         return 0
-    lengths = [b.length for b in bursts]
+    # Burst.length counts sample buckets; convert via each run's actual
+    # sampling interval so e.g. a 100 us export is not reported 10x long.
+    lengths_ms = [
+        burst.length_ms(summary.sampling_interval)
+        for summary in summaries
+        for burst in summary.bursts
+    ]
     contended = sum(1 for b in bursts if b.contended)
     lossy = sum(1 for b in bursts if b.lossy)
     contention = [s.contention.mean for s in summaries]
@@ -151,8 +197,8 @@ def _analyze(args) -> int:
         ["rack runs", len(summaries)],
         ["server runs", sum(s.servers for s in summaries)],
         ["bursts", len(bursts)],
-        ["median burst length (ms)", percentile(lengths, 50)],
-        ["p90 burst length (ms)", percentile(lengths, 90)],
+        ["median burst length (ms)", percentile(lengths_ms, 50)],
+        ["p90 burst length (ms)", percentile(lengths_ms, 90)],
         ["contended bursts", f"{contended / len(bursts) * 100:.1f}%"],
         ["lossy bursts", f"{lossy / len(bursts) * 100:.2f}%"],
         ["mean avg contention", f"{float(np.mean(contention)):.2f}"],
@@ -163,11 +209,9 @@ def _analyze(args) -> int:
     return 0
 
 
-def _report(args) -> int:
-    """Handle `report`: run everything, write one markdown report."""
-    from .report import write_report
-
-    ctx = ExperimentContext(
+def _context(args, verbose: bool = False) -> ExperimentContext:
+    """Build the shared context from `run`/`report` CLI arguments."""
+    return ExperimentContext(
         fleet=FleetConfig(
             racks_per_region=args.racks,
             runs_per_rack=args.runs_per_rack,
@@ -175,13 +219,88 @@ def _report(args) -> int:
             jobs=args.jobs,
         ),
         cache_dir=_cache_dir(args),
+        verbose=verbose,
     )
-    path = write_report(
-        ctx, args.out,
+
+
+def _finish_orchestrated(args, ctx, orchestration) -> int:
+    """Manifest / profile / failure-summary epilogue for `run`/`report`."""
+    if args.manifest:
+        from ..obs.manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            ctx.fleet,
+            orchestration.outcomes,
+            telemetry=ctx.metrics.snapshot(),
+            cache_dir=ctx.cache_dir,
+            exp_jobs=args.exp_jobs,
+        )
+        print(f"wrote manifest {write_manifest(manifest, args.manifest)}")
+    if args.profile:
+        print(ctx.metrics.render_profile())
+    if not orchestration.ok:
+        print(orchestration.failure_summary(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _report(args) -> int:
+    """Handle `report`: run everything, write one markdown report."""
+    from .report import orchestrate, render_markdown
+
+    ctx = _context(args)
+    orchestration = orchestrate(
+        ctx,
+        exp_jobs=args.exp_jobs,
         progress=lambda eid, took: print(f"  {eid}: {took:.1f}s"),
     )
-    print(f"wrote {path}")
-    return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(orchestration.results, ctx, orchestration.outcomes))
+    print(f"wrote {args.out}")
+    return _finish_orchestrated(args, ctx, orchestration)
+
+
+def _run(args) -> int:
+    """Handle `run`: orchestrate the requested experiments."""
+    from .orchestrator import run_experiments
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = ordered_ids()
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    ctx = _context(args, verbose=not args.quiet)
+
+    def progress(outcome, result) -> None:
+        if outcome.status == "failed":
+            print(
+                f"[{outcome.experiment_id} FAILED after "
+                f"{outcome.wall_time_s:.1f}s: {outcome.error}]",
+                file=sys.stderr,
+            )
+            return
+        if outcome.status == "skipped":
+            print(
+                f"[{outcome.experiment_id} skipped: {outcome.error}]",
+                file=sys.stderr,
+            )
+            return
+        if not args.quiet:
+            print(result.render())
+            print(f"[{outcome.experiment_id} finished in {outcome.wall_time_s:.1f}s]\n")
+        if args.out:
+            for path in result.save(args.out):
+                if not args.quiet:
+                    print(f"  wrote {path}")
+
+    orchestration = run_experiments(
+        ctx, requested, exp_jobs=args.exp_jobs, progress=progress
+    )
+    return _finish_orchestrated(args, ctx, orchestration)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -194,43 +313,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         return _report(args)
     if args.command == "list":
-        for experiment_id, entry in sorted(
-            EXPERIMENTS.items(), key=lambda kv: (len(kv[0]), kv[0])
-        ):
-            print(f"{experiment_id:8s} {entry.title}")
+        for experiment_id in ordered_ids():
+            print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].title}")
         return 0
-
-    requested = args.experiments
-    if requested == ["all"]:
-        requested = sorted(EXPERIMENTS, key=lambda k: (len(k), k))
-    unknown = [e for e in requested if e not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {unknown}", file=sys.stderr)
-        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
-        return 2
-
-    ctx = ExperimentContext(
-        fleet=FleetConfig(
-            racks_per_region=args.racks,
-            runs_per_rack=args.runs_per_rack,
-            seed=args.seed,
-            jobs=args.jobs,
-        ),
-        cache_dir=_cache_dir(args),
-        verbose=not args.quiet,
-    )
-    for experiment_id in requested:
-        started = time.time()
-        result = get_experiment(experiment_id)(ctx)
-        elapsed = time.time() - started
-        if not args.quiet:
-            print(result.render())
-            print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
-        if args.out:
-            for path in result.save(args.out):
-                if not args.quiet:
-                    print(f"  wrote {path}")
-    return 0
+    return _run(args)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,8 @@ and caching it, so running all experiments costs one dataset pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import threading
+from dataclasses import dataclass, field
 
 from ..analysis.racks import (
     DEFAULT_CONTENTION_SPLIT,
@@ -22,6 +23,7 @@ from ..config import FleetConfig
 from ..errors import ConfigError
 from ..fleet.cache import DatasetCache
 from ..fleet.dataset import RegionDataset, generate_region_dataset
+from ..obs.metrics import Metrics
 from ..workload.region import REGION_A, REGION_B, RegionSpec
 
 
@@ -39,7 +41,15 @@ class ExperimentContext:
     verbose: bool = False
     #: Directory for the on-disk dataset cache; None disables caching.
     cache_dir: str | None = None
+    #: Telemetry registry shared by dataset generation, the cache, and
+    #: every experiment run against this context (see repro.obs).
+    metrics: Metrics = field(default_factory=Metrics, repr=False, compare=False)
     _datasets: dict[str, RegionDataset] = field(default_factory=dict, repr=False)
+    #: Serializes lazy dataset construction so parallel experiments
+    #: never generate the same region twice.
+    _dataset_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @classmethod
     def small(cls, racks: int = 24, runs_per_rack: int = 4, seed: int = 3) -> "ExperimentContext":
@@ -60,22 +70,30 @@ class ExperimentContext:
 
     def dataset(self, region: str) -> RegionDataset:
         """The region-day dataset, generated (or cache-loaded) on first use."""
-        if region not in self._datasets:
-            spec = self._spec(region)
-            cache = DatasetCache(self.cache_dir) if self.cache_dir else None
-            dataset = cache.load(spec, self.fleet) if cache is not None else None
-            if dataset is None:
-                progress = None
-                if self.verbose:
-                    def progress(done: int, total: int, _region: str = region) -> None:
-                        if done % 200 == 0 or done == total:
-                            print(f"  [{_region}] {done}/{total} rack runs")
-                dataset = generate_region_dataset(spec, self.fleet, progress=progress)
-                if cache is not None:
-                    cache.store(spec, self.fleet, dataset)
-            elif self.verbose:
-                print(f"  [{region}] dataset loaded from cache")
-            self._datasets[region] = dataset
+        with self._dataset_lock:
+            if region not in self._datasets:
+                spec = self._spec(region)
+                cache = (
+                    DatasetCache(self.cache_dir, metrics=self.metrics)
+                    if self.cache_dir
+                    else None
+                )
+                with self.metrics.span(f"dataset/{region}"):
+                    dataset = cache.load(spec, self.fleet) if cache is not None else None
+                    if dataset is None:
+                        progress = None
+                        if self.verbose:
+                            def progress(done: int, total: int, _region: str = region) -> None:
+                                if done % 200 == 0 or done == total:
+                                    print(f"  [{_region}] {done}/{total} rack runs")
+                        dataset = generate_region_dataset(
+                            spec, self.fleet, progress=progress, metrics=self.metrics
+                        )
+                        if cache is not None:
+                            cache.store(spec, self.fleet, dataset)
+                    elif self.verbose:
+                        print(f"  [{region}] dataset loaded from cache")
+                self._datasets[region] = dataset
         return self._datasets[region]
 
     def summaries(self, region: str) -> list[RunSummary]:

@@ -15,7 +15,6 @@ fraction.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..analysis.placement_metrics import rank_correlation, score_racks
 from .base import ExperimentResult, ResultTable

@@ -82,6 +82,16 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
 }
 
 
+def ordered_ids() -> list[str]:
+    """Every experiment id in the canonical run order.
+
+    Short ids sort first (fig1..fig9 before fig10), matching ``list``
+    output; the orchestrator, CLI, and report all iterate this order so
+    runs are comparable across entry points.
+    """
+    return sorted(EXPERIMENTS, key=lambda k: (len(k), k))
+
+
 def get_experiment(experiment_id: str) -> Callable[[ExperimentContext], ExperimentResult]:
     """Resolve an experiment id to its run function."""
     entry = EXPERIMENTS.get(experiment_id)

@@ -32,6 +32,7 @@ import pickle
 import tempfile
 
 from ..config import FleetConfig
+from ..obs.metrics import Metrics
 from ..workload.region import RegionSpec
 from .dataset import RegionDataset
 
@@ -101,11 +102,25 @@ def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
     return digest
 
 
-class DatasetCache:
-    """Directory of pickled region datasets keyed by content hash."""
+#: Counter names recorded on every cache interaction; the orchestrator
+#: reads per-experiment deltas of hit/miss into the run manifest.
+HIT_COUNTER = "dataset.cache.hit"
+MISS_COUNTER = "dataset.cache.miss"
+STORE_COUNTER = "dataset.cache.store"
 
-    def __init__(self, directory: str) -> None:
+
+class DatasetCache:
+    """Directory of pickled region datasets keyed by content hash.
+
+    ``metrics`` (any :class:`repro.obs.metrics.Metrics`) receives
+    hit/miss/store counters and load/store timers; a private registry
+    is used when the caller does not supply one, keeping the recording
+    path identical whether or not anyone is watching.
+    """
+
+    def __init__(self, directory: str, metrics: Metrics | None = None) -> None:
         self.directory = directory
+        self.metrics = metrics if metrics is not None else Metrics()
 
     def path_for(self, spec: RegionSpec, config: FleetConfig) -> str:
         key = dataset_cache_key(spec, config)
@@ -115,18 +130,22 @@ class DatasetCache:
         """The cached dataset, or None on a miss *or* an unreadable entry."""
         path = self.path_for(spec, config)
         if not os.path.exists(path):
+            self.metrics.incr(MISS_COUNTER)
             return None
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            if payload["format"] != DATASET_FORMAT_VERSION:
-                raise ValueError(f"format {payload['format']} != {DATASET_FORMAT_VERSION}")
-            dataset = payload["dataset"]
-            if not isinstance(dataset, RegionDataset) or dataset.region != spec.name:
-                raise ValueError("entry does not hold the requested region")
+            with self.metrics.span("cache/load"):
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                if payload["format"] != DATASET_FORMAT_VERSION:
+                    raise ValueError(f"format {payload['format']} != {DATASET_FORMAT_VERSION}")
+                dataset = payload["dataset"]
+                if not isinstance(dataset, RegionDataset) or dataset.region != spec.name:
+                    raise ValueError("entry does not hold the requested region")
+            self.metrics.incr(HIT_COUNTER)
             return dataset
         except Exception as exc:  # corrupt entry: regenerate, overwrite
             logger.warning("ignoring unreadable dataset cache entry %s: %s", path, exc)
+            self.metrics.incr(MISS_COUNTER)
             return None
 
     def store(self, spec: RegionSpec, config: FleetConfig, dataset: RegionDataset) -> str:
@@ -136,13 +155,15 @@ class DatasetCache:
         payload = {"format": DATASET_FORMAT_VERSION, "dataset": dataset}
         handle, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(handle, "wb") as tmp:
-                pickle.dump(payload, tmp, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
+            with self.metrics.span("cache/store"):
+                with os.fdopen(handle, "wb") as tmp:
+                    pickle.dump(payload, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
         except BaseException:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             raise
+        self.metrics.incr(STORE_COUNTER)
         return path

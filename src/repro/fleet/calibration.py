@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..workload.region import REGION_A, REGION_B, build_region_workloads
+from ..workload.region import REGION_A, build_region_workloads
 from ..analysis.summary import summarize_run
 from ..errors import AnalysisError
 from .rackrun import RackRunSynthesizer

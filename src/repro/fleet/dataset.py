@@ -37,6 +37,7 @@ import numpy as np
 from ..analysis.summary import RunSummary, summarize_run
 from ..config import FleetConfig
 from ..errors import ConfigError
+from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload, RegionSpec, REGION_A, REGION_B, build_region_workloads
 from .rackrun import RackRunSynthesizer
 
@@ -249,29 +250,36 @@ def generate_region_dataset(
     synthesizer: RackRunSynthesizer | None = None,
     progress: Callable[[int, int], None] | None = None,
     jobs: int | None = None,
+    metrics: Metrics | None = None,
 ) -> RegionDataset:
     """Generate and reduce one region-day.
 
     ``jobs`` overrides ``config.jobs``: 1 synthesizes serially in this
     process, N > 1 fans rack days out over a process pool, and 0 uses
     every available core.  The result is identical for any job count.
+    ``metrics`` receives a ``generate/<region>`` span and a
+    ``dataset.generated_runs`` counter; telemetry never shapes data.
     """
     resolved = config.jobs if jobs is None else jobs
     from .parallel import resolve_jobs
 
     resolved = resolve_jobs(resolved)
+    metrics = metrics if metrics is not None else Metrics()
     if resolved > 1:
         from .parallel import generate_region_dataset_parallel
 
         return generate_region_dataset_parallel(
-            spec, config, jobs=resolved, synthesizer=synthesizer, progress=progress
+            spec, config, jobs=resolved, synthesizer=synthesizer,
+            progress=progress, metrics=metrics,
         )
 
     summaries: list[RunSummary] = []
     workloads: dict[str, RackWorkload] = {}
-    for summary, workload in iter_region_summaries(spec, config, synthesizer, progress):
-        summaries.append(summary)
-        workloads[workload.rack] = workload
+    with metrics.span(f"generate/{spec.name}"):
+        for summary, workload in iter_region_summaries(spec, config, synthesizer, progress):
+            summaries.append(summary)
+            workloads[workload.rack] = workload
+    metrics.incr("dataset.generated_runs", len(summaries))
     return RegionDataset(
         region=spec.name, summaries=summaries, workloads=list(workloads.values())
     )

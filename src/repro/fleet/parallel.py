@@ -21,6 +21,7 @@ from typing import Callable
 from ..analysis.summary import RunSummary
 from ..config import FleetConfig
 from ..errors import ConfigError
+from ..obs.metrics import Metrics
 from ..workload.region import RegionSpec
 from .dataset import RackRunPlan, RegionDataset, plan_region, synthesize_rack_day
 from .rackrun import RackRunSynthesizer
@@ -48,13 +49,18 @@ def generate_region_dataset_parallel(
     jobs: int,
     synthesizer: RackRunSynthesizer | None = None,
     progress: Callable[[int, int], None] | None = None,
+    metrics: Metrics | None = None,
 ) -> RegionDataset:
     """Generate one region-day with ``jobs`` worker processes.
 
     Produces exactly the same :class:`RegionDataset` as the serial path
-    in :func:`repro.fleet.dataset.generate_region_dataset`.
+    in :func:`repro.fleet.dataset.generate_region_dataset`.  ``metrics``
+    stays in the parent process (only plans and summaries cross the
+    process boundary); it records the fan-out span and per-rack-day
+    task counts.
     """
     jobs = resolve_jobs(jobs)
+    metrics = metrics if metrics is not None else Metrics()
     plans = plan_region(spec, config)
     total = len(plans) * config.runs_per_rack
     per_rack: list[list[RunSummary] | None] = [None] * len(plans)
@@ -63,22 +69,25 @@ def generate_region_dataset_parallel(
     # plan pickled and queued at once.
     window = 2 * jobs
     next_plan = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
-        futures = set()
-        while futures or next_plan < len(plans):
-            while next_plan < len(plans) and len(futures) < window:
-                futures.add(
-                    pool.submit(_rack_day_task, plans[next_plan], config, synthesizer)
-                )
-                next_plan += 1
-            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in finished:
-                rack_index, summaries = future.result()
-                per_rack[rack_index] = summaries
-                done += len(summaries)
-                if progress is not None:
-                    progress(done, total)
+    with metrics.span(f"generate/{spec.name}"):
+        with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
+            futures = set()
+            while futures or next_plan < len(plans):
+                while next_plan < len(plans) and len(futures) < window:
+                    futures.add(
+                        pool.submit(_rack_day_task, plans[next_plan], config, synthesizer)
+                    )
+                    next_plan += 1
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    rack_index, summaries = future.result()
+                    per_rack[rack_index] = summaries
+                    done += len(summaries)
+                    metrics.incr("dataset.parallel.rack_days")
+                    if progress is not None:
+                        progress(done, total)
     summaries = [summary for rack in per_rack for summary in (rack or [])]
+    metrics.incr("dataset.generated_runs", len(summaries))
     return RegionDataset(
         region=spec.name,
         summaries=summaries,

@@ -29,7 +29,7 @@ import glob
 import gzip
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

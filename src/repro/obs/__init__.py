@@ -1,0 +1,31 @@
+"""Observability: metrics, tracing spans, and run manifests.
+
+The paper's own region-scale pipeline reduced 8.16B samples across two
+regions; at that scale "did it run, how long, what did it hit" must be
+machine-readable, not scraped from logs.  This package provides the
+substrate the experiment orchestrator reports through:
+
+* :mod:`repro.obs.metrics` — named counters and timers with scoped
+  spans, cheap enough to leave on everywhere;
+* :mod:`repro.obs.manifest` — the JSON run manifest (config, seed,
+  telemetry, per-experiment outcomes) and its schema validator.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import Metrics, TimerStats
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "Metrics",
+    "TimerStats",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,215 @@
+"""The JSON run manifest: what ran, with which config, and how it went.
+
+``millisampler-repro run all --manifest out/manifest.json`` leaves a
+machine-readable record of the whole suite — the dataset configuration
+and seed, cache traffic, and one outcome entry per experiment (status,
+wall time, peak memory, headline metrics).  CI, regression tooling, and
+later scaling PRs read this instead of parsing terminal output.
+
+Schema (version 1) — see :data:`MANIFEST_SCHEMA` for the field-level
+contract enforced by :func:`validate_manifest`:
+
+```json
+{
+  "schema": "millisampler-repro/run-manifest",
+  "schema_version": 1,
+  "created_at": 1754438400.0,
+  "config": {"racks_per_region": 100, "runs_per_rack": 10,
+             "hours": 24, "seed": 20221025, "jobs": 0,
+             "cache_dir": "~/.cache/millisampler-repro"},
+  "exp_jobs": 4,
+  "status": "failed",
+  "failed": ["fig9"],
+  "experiments": [
+    {"experiment_id": "fig1", "status": "ok", "wall_time_s": 0.21,
+     "error": null, "peak_tracemalloc_bytes": 1048576,
+     "peak_rss_bytes": 181403648, "cache_hits": 0, "cache_misses": 0,
+     "metrics": {"share_alpha1_s1": 0.5}},
+    {"experiment_id": "fig9", "status": "failed", "wall_time_s": 0.02,
+     "error": "AnalysisError: ...", ...}
+  ],
+  "telemetry": {"counters": {"dataset.cache.hit": 2}, "timers": {...}}
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..errors import ManifestError
+
+#: Name of the schema family; distinguishes this file from any other JSON.
+MANIFEST_SCHEMA = "millisampler-repro/run-manifest"
+
+#: Bump on any backwards-incompatible change to the manifest layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Valid values of an experiment outcome's ``status`` field.
+OUTCOME_STATUSES = ("ok", "failed", "skipped")
+
+#: Required per-experiment outcome fields -> accepted types (None-able
+#: fields list ``type(None)``).
+_OUTCOME_FIELDS: dict[str, tuple[type, ...]] = {
+    "experiment_id": (str,),
+    "status": (str,),
+    "wall_time_s": (int, float),
+    "error": (str, type(None)),
+    "peak_tracemalloc_bytes": (int, type(None)),
+    "peak_rss_bytes": (int, type(None)),
+    "cache_hits": (int, float),
+    "cache_misses": (int, float),
+    "metrics": (dict,),
+}
+
+_CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
+    "racks_per_region": (int,),
+    "runs_per_rack": (int,),
+    "hours": (int,),
+    "seed": (int,),
+    "jobs": (int,),
+    "cache_dir": (str, type(None)),
+}
+
+
+def _clean_number(value):
+    """Coerce numpy scalars (and other number-likes) to JSON floats."""
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def build_manifest(
+    fleet_config,
+    outcomes,
+    telemetry: dict | None = None,
+    cache_dir: str | None = None,
+    exp_jobs: int = 1,
+) -> dict:
+    """Assemble a schema-valid manifest dict.
+
+    ``fleet_config`` is the run's :class:`~repro.config.FleetConfig`;
+    ``outcomes`` is the ordered list of
+    :class:`~repro.experiments.orchestrator.ExperimentOutcome`.
+    """
+    failed = [o.experiment_id for o in outcomes if o.status == "failed"]
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "created_at": time.time(),
+        "config": {
+            "racks_per_region": fleet_config.racks_per_region,
+            "runs_per_rack": fleet_config.runs_per_rack,
+            "hours": fleet_config.hours,
+            "seed": fleet_config.seed,
+            "jobs": fleet_config.jobs,
+            "cache_dir": cache_dir,
+        },
+        "exp_jobs": exp_jobs,
+        "status": "failed" if failed else "ok",
+        "failed": failed,
+        "experiments": [
+            {
+                "experiment_id": outcome.experiment_id,
+                "status": outcome.status,
+                "wall_time_s": float(outcome.wall_time_s),
+                "error": outcome.error,
+                "peak_tracemalloc_bytes": outcome.peak_tracemalloc_bytes,
+                "peak_rss_bytes": outcome.peak_rss_bytes,
+                "cache_hits": outcome.cache_hits,
+                "cache_misses": outcome.cache_misses,
+                "metrics": {
+                    name: _clean_number(value)
+                    for name, value in sorted(outcome.metrics.items())
+                },
+            }
+            for outcome in outcomes
+        ],
+        "telemetry": telemetry if telemetry is not None else {},
+    }
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: dict) -> None:
+    """Check a manifest against the version-1 schema.
+
+    Raises :class:`~repro.errors.ManifestError` listing *every*
+    violation, so a failing CI run reports the whole story at once.
+    """
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    check(isinstance(manifest, dict), "manifest is not a dict")
+    if not isinstance(manifest, dict):
+        raise ManifestError("; ".join(problems))
+
+    check(manifest.get("schema") == MANIFEST_SCHEMA,
+          f"schema != {MANIFEST_SCHEMA!r}")
+    check(manifest.get("schema_version") == MANIFEST_SCHEMA_VERSION,
+          f"schema_version != {MANIFEST_SCHEMA_VERSION}")
+    check(isinstance(manifest.get("created_at"), (int, float)),
+          "created_at is not a timestamp")
+    check(manifest.get("status") in ("ok", "failed"),
+          "status is not 'ok' or 'failed'")
+    check(isinstance(manifest.get("exp_jobs"), int), "exp_jobs is not an int")
+    check(isinstance(manifest.get("failed"), list), "failed is not a list")
+
+    config = manifest.get("config")
+    if isinstance(config, dict):
+        for name, types in _CONFIG_FIELDS.items():
+            check(isinstance(config.get(name), types),
+                  f"config.{name} missing or mistyped")
+    else:
+        problems.append("config is not a dict")
+
+    experiments = manifest.get("experiments")
+    if isinstance(experiments, list):
+        for index, outcome in enumerate(experiments):
+            if not isinstance(outcome, dict):
+                problems.append(f"experiments[{index}] is not a dict")
+                continue
+            label = outcome.get("experiment_id", f"#{index}")
+            for name, types in _OUTCOME_FIELDS.items():
+                check(isinstance(outcome.get(name), types),
+                      f"experiments[{label}].{name} missing or mistyped")
+            check(outcome.get("status") in OUTCOME_STATUSES,
+                  f"experiments[{label}].status not in {OUTCOME_STATUSES}")
+            if outcome.get("status") == "failed":
+                check(bool(outcome.get("error")),
+                      f"experiments[{label}] failed without an error message")
+        failed = manifest.get("failed")
+        if isinstance(failed, list):
+            actual = [o.get("experiment_id") for o in experiments
+                      if isinstance(o, dict) and o.get("status") == "failed"]
+            check(failed == actual, "failed list disagrees with outcomes")
+    else:
+        problems.append("experiments is not a list")
+
+    telemetry = manifest.get("telemetry")
+    check(isinstance(telemetry, dict), "telemetry is not a dict")
+
+    if problems:
+        raise ManifestError(
+            "manifest does not satisfy schema v"
+            f"{MANIFEST_SCHEMA_VERSION}: " + "; ".join(problems)
+        )
+
+
+def write_manifest(manifest: dict, path: str) -> str:
+    """Validate and write a manifest; returns the path."""
+    validate_manifest(manifest)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -11,7 +11,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import units
 from ..config import RackConfig, SamplerConfig
 from ..core.millisampler import Millisampler
 from ..core.run import RunMetadata

@@ -15,7 +15,7 @@ patterns the analysis cares about:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .. import units

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import units
 from repro.analysis.bursts import (
     burst_frequency,
     bursty_fraction_of_bytes,
@@ -65,6 +64,35 @@ class TestDetectBursts:
         run = make_run([QUIET, BURSTY, BURSTY, QUIET, QUIET, QUIET], retx=retx)
         bursts = detect_bursts(run, loss_lag_buckets=2)
         assert not bursts[0].lossy
+
+    def test_lag_window_clipped_at_next_burst(self):
+        """Two bursts one quiet bucket apart: the first burst's lag
+        window must stop at the second burst's start, so one loss event
+        inside the second burst marks only the second burst lossy and
+        its bytes are counted once."""
+        #            b1      gap    b2      (retx lands in b2's first bucket)
+        ingress = [BURSTY, QUIET, BURSTY, BURSTY, QUIET, QUIET]
+        retx = [0, 0, 1000, 0, 0, 0]
+        run = make_run(ingress, retx=retx)
+        bursts = detect_bursts(run, loss_lag_buckets=2)
+        assert len(bursts) == 2
+        first, second = bursts
+        assert not first.lossy
+        assert first.retx_bytes == 0
+        assert second.lossy
+        assert second.retx_bytes == 1000
+
+    def test_lag_window_still_covers_gap_before_next_burst(self):
+        """Clipping keeps the gap buckets before the next burst: retx
+        surfacing in the quiet bucket between bursts still belongs to
+        the first burst."""
+        ingress = [BURSTY, QUIET, BURSTY, QUIET]
+        retx = [0, 500, 0, 0]
+        run = make_run(ingress, retx=retx)
+        first, second = detect_bursts(run, loss_lag_buckets=2)
+        assert first.lossy
+        assert first.retx_bytes == 500
+        assert not second.lossy
 
     def test_connection_annotation(self):
         run = make_run([BURSTY, BURSTY], conns=[30, 50])

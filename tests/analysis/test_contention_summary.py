@@ -12,7 +12,7 @@ from repro.analysis.contention import (
 from repro.analysis.summary import summarize_run
 from repro.config import BufferConfig
 from repro.errors import AnalysisError
-from tests.conftest import BURSTY, QUIET, make_run, make_sync_run
+from tests.conftest import BURSTY, QUIET, make_sync_run
 
 
 class TestContentionStats:

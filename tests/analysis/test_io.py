@@ -1,16 +1,13 @@
 """Tests for the Millisampler-dataset reader/writer."""
 
 import gzip
-import json
 import os
 
 import numpy as np
 import pytest
 
-from repro.core.run import SyncRun
 from repro.errors import StorageError
 from repro.io.msdata import (
-    DEFAULT_FIELD_MAP,
     FieldMap,
     load_rack_directory,
     read_host_records,

@@ -1,6 +1,5 @@
 """Tests for the Section 9 placement-metric candidates."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.bursts import Burst

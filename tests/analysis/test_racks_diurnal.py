@@ -1,6 +1,5 @@
 """Tests for rack classification, task analysis, and diurnal grouping."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.contention import ContentionStats

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import units
-from repro.core.storage import DEFAULT_RETENTION, HostRunStore
+from repro.core.storage import HostRunStore
 from repro.errors import StorageError
 from tests.conftest import make_run
 

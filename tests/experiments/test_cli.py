@@ -1,0 +1,162 @@
+"""CLI integration tests: export/analyze round trips, orchestrated runs,
+failure isolation, and manifest schema guarantees."""
+
+import json
+
+
+from repro import units
+from repro.experiments import cli, orchestrator
+from repro.obs.manifest import MANIFEST_SCHEMA, validate_manifest
+from tests.conftest import make_run, make_sync_run
+
+
+class TestExportAnalyzeRoundTrip:
+    def test_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "msdata")
+        assert cli.main([
+            "export", out, "--racks", "2", "--runs-per-rack", "2", "--seed", "7",
+        ]) == 0
+        assert "wrote 4 rack runs" in capsys.readouterr().out
+
+        assert cli.main(["analyze", out]) == 0
+        text = capsys.readouterr().out
+        assert "Millisampler dataset analysis" in text
+        assert "rack runs" in text
+        assert "median burst length (ms)" in text
+
+    def test_export_runs_per_rack_over_24_is_a_clear_error(self, tmp_path, capsys):
+        rc = cli.main(["export", str(tmp_path / "x"), "--runs-per-rack", "25"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--runs-per-rack" in err
+        assert "24" in err
+        assert "ValueError" not in err
+
+    def test_export_rejects_zero_runs_per_rack(self, tmp_path, capsys):
+        assert cli.main(["export", str(tmp_path / "x"), "--runs-per-rack", "0"]) == 2
+        assert "--runs-per-rack" in capsys.readouterr().err
+
+    def test_analyze_converts_burst_length_with_sampling_interval(
+        self, tmp_path, capsys
+    ):
+        """A 100 us export's 3-bucket bursts are 0.3 ms, not 3 ms."""
+        from repro.io.msdata import write_sync_run
+
+        interval = 1e-4
+        bursty = 0.8 * units.SERVER_LINK_RATE * interval
+        quiet = 0.05 * units.SERVER_LINK_RATE * interval
+        series = [quiet] * 5 + [bursty] * 3 + [quiet] * 12
+        runs = [
+            make_run(series, host=f"h{i}", sampling_interval=interval)
+            for i in range(2)
+        ]
+        write_sync_run(make_sync_run([], runs=runs), str(tmp_path))
+
+        assert cli.main(["analyze", str(tmp_path)]) == 0
+        text = capsys.readouterr().out
+        median_row = next(
+            line for line in text.splitlines() if "median burst length" in line
+        )
+        assert "0.3" in median_row
+
+
+def inject_failure(monkeypatch, failing_id="perf"):
+    from repro.experiments.registry import get_experiment as real
+
+    def fake(experiment_id):
+        if experiment_id == failing_id:
+            def boom(ctx):
+                raise RuntimeError("stub experiment failure")
+            return boom
+        return real(experiment_id)
+
+    monkeypatch.setattr(orchestrator, "get_experiment", fake)
+
+
+FAST_ARGS = ["--racks", "2", "--runs-per-rack", "2", "--no-cache", "--quiet"]
+
+
+class TestRunFailureIsolation:
+    def test_suite_completes_with_nonzero_exit_and_manifest(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        inject_failure(monkeypatch)
+        manifest_path = str(tmp_path / "out" / "manifest.json")
+        out_dir = str(tmp_path / "results")
+        rc = cli.main(
+            ["run", "fig1", "perf", "fig4", "--out", out_dir,
+             "--manifest", manifest_path] + FAST_ARGS
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "FAILURES (1/3" in captured.err
+        assert "stub experiment failure" in captured.err
+        # The other experiments still ran and saved their artifacts.
+        assert (tmp_path / "results" / "fig1.txt").exists()
+        assert (tmp_path / "results" / "fig4.txt").exists()
+        assert not (tmp_path / "results" / "perf.txt").exists()
+
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        validate_manifest(manifest)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["status"] == "failed"
+        assert manifest["failed"] == ["perf"]
+        by_id = {e["experiment_id"]: e for e in manifest["experiments"]}
+        assert by_id["fig1"]["status"] == "ok"
+        assert by_id["fig1"]["wall_time_s"] > 0
+        assert isinstance(by_id["fig1"]["cache_hits"], int)
+        assert isinstance(by_id["fig1"]["cache_misses"], int)
+        assert by_id["fig1"]["metrics"]
+        assert by_id["perf"]["status"] == "failed"
+        assert "stub experiment failure" in by_id["perf"]["error"]
+
+    def test_successful_run_exits_zero(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "manifest.json")
+        assert cli.main(["run", "fig1", "--manifest", manifest_path] + FAST_ARGS) == 0
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        validate_manifest(manifest)
+        assert manifest["status"] == "ok"
+        assert manifest["config"]["racks_per_region"] == 2
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert cli.main(["run", "no-such-figure"] + FAST_ARGS) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestExpJobsParity:
+    def test_parallel_manifest_metrics_byte_identical(
+        self, tmp_path, capsys
+    ):
+        ids = ["fig1", "fig4", "perf"]
+
+        def metrics_blob(exp_jobs, name):
+            path = str(tmp_path / name)
+            assert cli.main(
+                ["run", *ids, "--exp-jobs", str(exp_jobs), "--manifest", path]
+                + FAST_ARGS
+            ) == 0
+            with open(path) as handle:
+                manifest = json.load(handle)
+            return json.dumps(
+                [[e["experiment_id"], e["metrics"]] for e in manifest["experiments"]],
+                sort_keys=True,
+            )
+
+        assert metrics_blob(1, "serial.json") == metrics_blob(4, "parallel.json")
+
+
+class TestProfileFlag:
+    def test_profile_prints_timers(self, capsys):
+        assert cli.main(["run", "fig1", "--profile"] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "profile: timers" in out
+        assert "experiment/fig1" in out
+
+
+class TestListStillWorks:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table2" in out

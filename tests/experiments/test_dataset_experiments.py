@@ -6,7 +6,6 @@ inversion, and the burst-property/loss shapes.  Absolute numbers are
 checked only loosely (the dataset here is tiny).
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -121,8 +121,6 @@ class TestFig15EdgeCases:
         """Percentile interpolation can put a run's p90 contention just
         below its minimum over active samples; the buffer-share drop is
         then zero, not an error."""
-        import numpy as np
-
         from repro.analysis.contention import ContentionStats
         from repro.analysis.summary import RunSummary
         from repro.experiments import fig15_run_variation

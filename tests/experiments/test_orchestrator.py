@@ -1,0 +1,155 @@
+"""Tests for fault-isolated, observable experiment orchestration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import orchestrator
+from repro.experiments.context import ExperimentContext
+from repro.experiments.orchestrator import (
+    ExperimentOutcome,
+    OrchestrationResult,
+    run_experiments,
+    warm_datasets,
+)
+
+
+def tiny_ctx(**kwargs) -> ExperimentContext:
+    return ExperimentContext.small(racks=2, runs_per_rack=2, **kwargs)
+
+
+#: Fast experiments that do not need the fleet dataset.
+FAST = ["fig1", "perf"]
+
+
+def failing_registry(monkeypatch, failing_id, exc=None):
+    """Make one experiment raise while the rest resolve normally."""
+    from repro.experiments.registry import get_experiment as real
+
+    exc = exc or RuntimeError("injected failure")
+
+    def fake(experiment_id):
+        if experiment_id == failing_id:
+            def boom(ctx):
+                raise exc
+            return boom
+        return real(experiment_id)
+
+    monkeypatch.setattr(orchestrator, "get_experiment", fake)
+
+
+class TestIsolation:
+    def test_failure_is_contained_and_suite_completes(self, monkeypatch):
+        failing_registry(monkeypatch, "perf")
+        orch = run_experiments(tiny_ctx(), ["fig1", "perf", "fig4"])
+        assert [o.experiment_id for o in orch.outcomes] == ["fig1", "perf", "fig4"]
+        assert [o.status for o in orch.outcomes] == ["ok", "failed", "ok"]
+        failed = orch.outcomes[1]
+        assert failed.error == "RuntimeError: injected failure"
+        assert not orch.ok
+        assert set(orch.results) == {"fig1", "fig4"}
+
+    def test_failure_summary_names_each_failure(self, monkeypatch):
+        failing_registry(monkeypatch, "perf")
+        orch = run_experiments(tiny_ctx(), ["fig1", "perf"])
+        summary = orch.failure_summary()
+        assert "1/2" in summary
+        assert "perf" in summary and "injected failure" in summary
+        assert OrchestrationResult(
+            outcomes=[ExperimentOutcome("fig1", "ok")], results={}
+        ).failure_summary() == ""
+
+    def test_on_error_raise_propagates(self, monkeypatch):
+        failing_registry(monkeypatch, "perf")
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_experiments(tiny_ctx(), ["perf"], on_error="raise")
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiments(tiny_ctx(), FAST, on_error="explode")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError, match="unknown experiments"):
+            run_experiments(tiny_ctx(), ["figure-nope"])
+
+
+class TestOutcomeTelemetry:
+    def test_serial_outcomes_carry_timing_and_memory(self):
+        orch = run_experiments(tiny_ctx(), FAST)
+        for outcome in orch.outcomes:
+            assert outcome.ok
+            assert outcome.wall_time_s > 0
+            assert outcome.peak_tracemalloc_bytes is not None
+            assert outcome.peak_tracemalloc_bytes > 0
+            assert outcome.peak_rss_bytes is not None
+            assert outcome.metrics  # headline metrics captured
+
+    def test_experiment_spans_recorded(self):
+        ctx = tiny_ctx()
+        run_experiments(ctx, ["fig1"])
+        assert "experiment/fig1" in ctx.metrics.timers()
+
+    def test_cache_miss_then_hit_attributed(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = ExperimentContext.small(racks=2, runs_per_rack=2)
+        first.cache_dir = cache_dir
+        orch = run_experiments(first, ["table1"])
+        (outcome,) = orch.outcomes
+        assert outcome.cache_misses == 2  # both regions generated
+        assert outcome.cache_hits == 0
+
+        second = ExperimentContext.small(racks=2, runs_per_rack=2)
+        second.cache_dir = cache_dir
+        orch = run_experiments(second, ["table1"])
+        (outcome,) = orch.outcomes
+        assert outcome.cache_hits == 2
+        assert outcome.cache_misses == 0
+
+
+class TestParallel:
+    def test_parallel_metrics_identical_to_serial(self):
+        ids = ["fig1", "perf", "table1"]
+        serial = run_experiments(tiny_ctx(), ids, exp_jobs=1)
+        parallel = run_experiments(tiny_ctx(), ids, exp_jobs=4)
+        assert [o.experiment_id for o in parallel.outcomes] == ids
+        assert all(o.ok for o in parallel.outcomes)
+        for ser, par in zip(serial.outcomes, parallel.outcomes):
+            assert ser.metrics == par.metrics  # exact float equality
+
+    def test_parallel_isolates_failures_and_keeps_order(self, monkeypatch):
+        failing_registry(monkeypatch, "fig4")
+        orch = run_experiments(tiny_ctx(), ["fig1", "fig4", "perf"], exp_jobs=3)
+        assert [o.experiment_id for o in orch.outcomes] == ["fig1", "fig4", "perf"]
+        assert [o.status for o in orch.outcomes] == ["ok", "failed", "ok"]
+
+    def test_warmup_failure_skips_dataset_experiments(self, monkeypatch):
+        def broken_warmup(ctx, regions=orchestrator.WARMUP_REGIONS):
+            raise RuntimeError("generation exploded")
+
+        monkeypatch.setattr(orchestrator, "warm_datasets", broken_warmup)
+        orch = run_experiments(tiny_ctx(), ["fig1", "table1"], exp_jobs=2)
+        by_id = {o.experiment_id: o for o in orch.outcomes}
+        assert by_id["fig1"].status == "ok"
+        assert by_id["table1"].status == "skipped"
+        assert "generation exploded" in by_id["table1"].error
+        assert not orch.ok
+
+    def test_warmup_populates_both_regions(self):
+        ctx = tiny_ctx()
+        warm_datasets(ctx)
+        assert set(ctx._datasets) == {"RegA", "RegB"}
+        assert "warmup" in ctx.metrics.timers()
+
+
+class TestProgress:
+    def test_progress_streams_in_requested_order(self, monkeypatch):
+        failing_registry(monkeypatch, "perf")
+        seen = []
+        run_experiments(
+            tiny_ctx(),
+            ["fig1", "perf"],
+            exp_jobs=2,
+            progress=lambda outcome, result: seen.append(
+                (outcome.experiment_id, outcome.status, result is not None)
+            ),
+        )
+        assert seen == [("fig1", "ok", True), ("perf", "failed", False)]

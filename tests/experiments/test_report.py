@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.report import render_markdown, run_all, write_report
+from repro.experiments import orchestrator
+from repro.experiments.report import (
+    orchestrate,
+    render_markdown,
+    run_all,
+    write_report,
+)
 
 
 class TestReport:
@@ -32,3 +38,46 @@ class TestReport:
         assert progress_calls == ["fig1"]
         with open(path) as handle:
             assert "fig1" in handle.read()
+
+
+class TestReportFailureIsolation:
+    def test_report_completes_with_failure_section(
+        self, small_ctx, tmp_path, monkeypatch
+    ):
+        from repro.experiments.registry import get_experiment as real
+
+        def fake(experiment_id):
+            if experiment_id == "fig4":
+                def boom(ctx):
+                    raise RuntimeError("report stub failure")
+                return boom
+            return real(experiment_id)
+
+        monkeypatch.setattr(orchestrator, "get_experiment", fake)
+        path = str(tmp_path / "REPORT.md")
+        write_report(small_ctx, path, ["fig1", "fig4"])
+        with open(path) as handle:
+            text = handle.read()
+        assert "## Failures" in text
+        assert "report stub failure" in text
+        assert "## fig1:" in text  # the healthy experiment still rendered
+        assert "## fig4:" not in text
+
+    def test_run_all_stays_fail_fast(self, small_ctx, monkeypatch):
+        from repro.experiments.registry import get_experiment as real
+
+        def fake(experiment_id):
+            def boom(ctx):
+                raise RuntimeError("fail fast")
+            return boom if experiment_id == "fig1" else real(experiment_id)
+
+        monkeypatch.setattr(orchestrator, "get_experiment", fake)
+        with pytest.raises(RuntimeError, match="fail fast"):
+            run_all(small_ctx, ["fig1"])
+
+    def test_orchestrate_records_wall_time_in_markdown(self, small_ctx, tmp_path):
+        orchestration = orchestrate(small_ctx, ["fig1"])
+        text = render_markdown(
+            orchestration.results, small_ctx, orchestration.outcomes
+        )
+        assert "*Completed in" in text

@@ -1,0 +1,49 @@
+"""Tests for ExperimentResult rendering, including the metric guard."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentResult, format_metric
+
+
+def result(**metrics) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Test figure",
+        paper_claim="claim",
+        metrics=metrics,
+    )
+
+
+class TestRenderMetrics:
+    def test_numeric_metrics_render(self):
+        text = result(alpha=0.123456789, count=42).render()
+        assert "alpha = 0.123457" in text
+        assert "count = 42" in text
+
+    def test_numpy_scalars_render(self):
+        np = pytest.importorskip("numpy")
+        text = result(x=np.float64(1.5)).render()
+        assert "x = 1.5" in text
+
+    def test_non_numeric_metric_raises_analysis_error(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            result(alpha=0.5, label="typical").render()
+        message = str(excinfo.value)
+        assert "figX" in message
+        assert "label" in message
+        assert "'typical'" in message
+        assert "str" in message
+
+    def test_none_metric_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="NoneType"):
+            result(missing=None).render()
+
+
+class TestFormatMetric:
+    def test_passthrough(self):
+        assert format_metric("figX", "m", 1234.5678) == "1234.57"
+
+    def test_rejects_list(self):
+        with pytest.raises(AnalysisError, match="must be numbers"):
+            format_metric("figX", "m", [1, 2])

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import units
-from repro.config import BufferConfig
 from repro.errors import SimulationError
 from repro.fleet.buffermodel import FluidBufferModel
 

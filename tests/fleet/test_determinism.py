@@ -13,8 +13,6 @@ import os
 import subprocess
 import sys
 
-import numpy as np
-import pytest
 
 from repro.config import FleetConfig
 from repro.fleet.dataset import generate_region_dataset

@@ -11,11 +11,8 @@ Millisampler will see no data even though the network interface card
 is receiving, which can lead to additional apparent bursts."
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.bursts import detect_bursts
-from repro.config import SamplerConfig
 from repro.core.millisampler import Direction, Millisampler, PacketObservation
 from repro.core.run import RunMetadata
 from repro import units

@@ -1,0 +1,124 @@
+"""Tests for the run-manifest schema, builder, and validator."""
+
+import json
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.errors import ManifestError
+from repro.experiments.orchestrator import ExperimentOutcome
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def outcomes():
+    return [
+        ExperimentOutcome(
+            experiment_id="fig1",
+            status="ok",
+            wall_time_s=0.25,
+            peak_tracemalloc_bytes=1024,
+            peak_rss_bytes=2048,
+            cache_hits=1,
+            metrics={"share": 0.5},
+        ),
+        ExperimentOutcome(
+            experiment_id="fig9",
+            status="failed",
+            wall_time_s=0.01,
+            error="AnalysisError: boom",
+        ),
+    ]
+
+
+class TestBuildManifest:
+    def test_schema_valid_and_failed_propagates(self):
+        manifest = build_manifest(
+            FleetConfig(racks_per_region=3, runs_per_rack=2, seed=7),
+            outcomes(),
+            telemetry={"counters": {}, "timers": {}},
+            cache_dir="/tmp/cache",
+            exp_jobs=4,
+        )
+        validate_manifest(manifest)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["status"] == "failed"
+        assert manifest["failed"] == ["fig9"]
+        assert manifest["config"]["seed"] == 7
+        assert manifest["exp_jobs"] == 4
+        entry = manifest["experiments"][0]
+        assert entry["status"] == "ok"
+        assert entry["metrics"] == {"share": 0.5}
+
+    def test_all_ok_status(self):
+        manifest = build_manifest(FleetConfig(), outcomes()[:1])
+        assert manifest["status"] == "ok"
+        assert manifest["failed"] == []
+
+    def test_numpy_metric_values_become_json_numbers(self):
+        np = pytest.importorskip("numpy")
+        outcome = ExperimentOutcome(
+            experiment_id="fig1", status="ok", metrics={"x": np.float64(1.5)}
+        )
+        manifest = build_manifest(FleetConfig(), [outcome])
+        assert json.dumps(manifest)  # round-trips
+        assert manifest["experiments"][0]["metrics"]["x"] == 1.5
+
+
+class TestValidateManifest:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ManifestError):
+            validate_manifest([])
+
+    def test_rejects_wrong_version(self):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        manifest["schema_version"] = 99
+        with pytest.raises(ManifestError, match="schema_version"):
+            validate_manifest(manifest)
+
+    def test_rejects_missing_outcome_fields(self):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        del manifest["experiments"][0]["wall_time_s"]
+        with pytest.raises(ManifestError, match="wall_time_s"):
+            validate_manifest(manifest)
+
+    def test_rejects_failed_without_error(self):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        manifest["experiments"][1]["error"] = None
+        with pytest.raises(ManifestError, match="without an error"):
+            validate_manifest(manifest)
+
+    def test_rejects_inconsistent_failed_list(self):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        manifest["failed"] = []
+        with pytest.raises(ManifestError, match="disagrees"):
+            validate_manifest(manifest)
+
+    def test_reports_every_problem_at_once(self):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        manifest["schema"] = "nope"
+        manifest["exp_jobs"] = "four"
+        with pytest.raises(ManifestError) as excinfo:
+            validate_manifest(manifest)
+        message = str(excinfo.value)
+        assert "schema" in message and "exp_jobs" in message
+
+
+class TestWriteManifest:
+    def test_writes_valid_json(self, tmp_path):
+        manifest = build_manifest(FleetConfig(), outcomes())
+        path = write_manifest(manifest, str(tmp_path / "sub" / "manifest.json"))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        validate_manifest(loaded)
+        assert loaded["failed"] == ["fig9"]
+
+    def test_refuses_invalid_manifest(self, tmp_path):
+        with pytest.raises(ManifestError):
+            write_manifest({"schema": "bad"}, str(tmp_path / "m.json"))

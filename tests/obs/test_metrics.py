@@ -1,0 +1,105 @@
+"""Tests for the metrics registry: counters, timers, spans."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Metrics, TimerStats
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        metrics = Metrics()
+        metrics.incr("hits")
+        metrics.incr("hits", 2)
+        assert metrics.counter("hits") == 3
+        assert metrics.counter("never") == 0
+
+    def test_counters_copy_is_point_in_time(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        snapshot = metrics.counters()
+        metrics.incr("a")
+        assert snapshot == {"a": 1}
+        assert metrics.counter("a") == 2
+
+    def test_thread_safety(self):
+        metrics = Metrics()
+
+        def spin():
+            for _ in range(1000):
+                metrics.incr("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("n") == 8000
+
+
+class TestTimersAndSpans:
+    def test_observe_aggregates(self):
+        metrics = Metrics()
+        metrics.observe("t", 1.0)
+        metrics.observe("t", 3.0)
+        stats = metrics.timers()["t"]
+        assert stats.count == 2
+        assert stats.total_s == pytest.approx(4.0)
+        assert stats.max_s == pytest.approx(3.0)
+        assert stats.mean_s == pytest.approx(2.0)
+
+    def test_span_records_elapsed(self):
+        metrics = Metrics()
+        with metrics.span("work"):
+            pass
+        stats = metrics.timers()["work"]
+        assert stats.count == 1
+        assert stats.total_s >= 0
+
+    def test_nested_spans_qualify_names(self):
+        metrics = Metrics()
+        with metrics.span("outer"):
+            with metrics.span("inner"):
+                pass
+        assert set(metrics.timers()) == {"outer", "outer/inner"}
+
+    def test_span_pops_on_exception(self):
+        metrics = Metrics()
+        with pytest.raises(RuntimeError):
+            with metrics.span("broken"):
+                raise RuntimeError("x")
+        with metrics.span("after"):
+            pass
+        assert "after" in metrics.timers()
+        assert "broken/after" not in metrics.timers()
+
+    def test_empty_timer_stats_mean(self):
+        assert TimerStats().mean_s == 0.0
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        metrics = Metrics()
+        metrics.incr("c", 2)
+        metrics.observe("t", 0.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"c": 2}
+        timer = snap["timers"]["t"]
+        assert timer["count"] == 1
+        assert timer["total_s"] == pytest.approx(0.5)
+        assert timer["mean_s"] == pytest.approx(0.5)
+        assert timer["max_s"] == pytest.approx(0.5)
+
+    def test_render_profile_lists_everything(self):
+        metrics = Metrics()
+        metrics.incr("cache.hit", 3)
+        metrics.observe("generate", 1.25)
+        text = metrics.render_profile()
+        assert "generate" in text
+        assert "cache.hit" in text
+        assert "3" in text
+
+    def test_render_profile_empty(self):
+        text = Metrics().render_profile()
+        assert "(none recorded)" in text

@@ -1,12 +1,11 @@
 """Tests for the fabric layer and multi-rack pods."""
 
-import numpy as np
 import pytest
 
 from repro import units
 from repro.config import BufferConfig
 from repro.errors import SimulationError
-from repro.simnet.fabric import FABRIC_BUFFER, FabricSwitch, build_pod
+from repro.simnet.fabric import FABRIC_BUFFER, build_pod
 from repro.simnet.packet import FlowKey, Packet
 from repro.simnet.tcp import DctcpControl, open_connection
 

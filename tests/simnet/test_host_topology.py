@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import units
 from repro.config import SamplerConfig
 from repro.core.millisampler import Direction
 from repro.errors import SimulationError

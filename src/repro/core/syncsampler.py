@@ -11,7 +11,7 @@ interpolates them onto one uniform time base.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import SamplerError
 from .alignment import align_runs
@@ -30,10 +30,21 @@ class SampledHost:
     scheduler: RunScheduler
     store: HostRunStore
     _enabled_at: float | None = None
+    #: sync_id of the run the sampler is currently recording (None for a
+    #: periodic run), and the stored start time of each completed sync
+    #: run — how ``assemble`` finds *the* sync run even when a
+    #: clock-skewed periodic run landed nearby.
+    _active_sync_id: str | None = None
+    _sync_starts: dict[str, float] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.sampler.meta.host
+
+    def sync_run_start(self, sync_id: str) -> float | None:
+        """Stored start time of the run recorded for ``sync_id``, if the
+        host produced one (None when it saw no traffic in the window)."""
+        return self._sync_starts.get(sync_id)
 
     def poll(self, now: float) -> None:
         """User-space agent tick: start due runs, harvest completed ones."""
@@ -51,15 +62,20 @@ class SampledHost:
                 sampler.finish(now)
         if not sampler.enabled and sampler.state.value == "disabled":
             if sampler.start_time is not None:
-                self.store.store(sampler.read_run())
+                run = sampler.read_run()
+                self.store.store(run)
+                if self._active_sync_id is not None:
+                    self._sync_starts[self._active_sync_id] = run.meta.start_time
             sampler.detach()
             self._enabled_at = None
+            self._active_sync_id = None
         due = self.scheduler.next_run(now)
         if due is not None:
             if sampler.state.value == "detached":
                 sampler.attach()
             sampler.enable()
             self._enabled_at = now
+            self._active_sync_id = due.sync_id if due.is_sync else None
 
 
 @dataclass
@@ -128,9 +144,19 @@ class SyncMillisampler:
 
         runs: list[MillisamplerRun] = []
         for host in pending.hosts:
-            # Run start times are stamped by *host clocks*, which may sit
-            # a sub-millisecond behind true time (Section 4.5) — allow a
-            # small tolerance so a sync run is not mistaken for absent.
+            # The host's agent recorded which stored run answered this
+            # sync request — use that exact match when available.
+            sync_start = host.sync_run_start(sync_id)
+            if sync_start is not None:
+                runs.append(host.store.load(sync_start))
+                continue
+            # Fallback (runs stored outside the poll loop, e.g. replayed
+            # from disk): run start times are stamped by *host clocks*,
+            # which may sit a sub-millisecond behind true time
+            # (Section 4.5) — allow a small tolerance so a sync run is
+            # not mistaken for absent, and pick the candidate closest to
+            # the requested start rather than the earliest, which could
+            # be a periodic run that began just before the sync window.
             tolerance = 50e-3
             candidates = [
                 start
@@ -138,7 +164,10 @@ class SyncMillisampler:
                 if start >= pending.start_time - tolerance
             ]
             if candidates:
-                runs.append(host.store.load(min(candidates)))
+                best = min(
+                    candidates, key=lambda s: (abs(s - pending.start_time), s)
+                )
+                runs.append(host.store.load(best))
             else:
                 # The host saw no packet during the window, so its
                 # sampler never started: an idle server contributes an

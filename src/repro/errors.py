@@ -19,6 +19,38 @@ class SimulationError(ReproError):
     """Discrete-event simulator invariant violation."""
 
 
+class InvariantViolation(SimulationError):
+    """A conservation law the simulator must uphold was broken.
+
+    Raised by :class:`repro.simnet.audit.InvariantAuditor` with the
+    structured context needed to localize the miscounted counter:
+    which component, which law, what was observed vs expected, and the
+    simulated time of the violating event.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        law: str,
+        observed: object,
+        expected: object,
+        sim_time: float | None = None,
+        detail: str = "",
+    ) -> None:
+        self.component = component
+        self.law = law
+        self.observed = observed
+        self.expected = expected
+        self.sim_time = sim_time
+        self.detail = detail
+        message = f"[{law}] {component}: observed {observed!r}, expected {expected!r}"
+        if sim_time is not None:
+            message += f" at t={sim_time:.9f}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
 class AnalysisError(ReproError):
     """Analysis-pipeline input did not satisfy preconditions."""
 

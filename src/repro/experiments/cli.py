@@ -100,6 +100,13 @@ def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="print the timer/counter profile after the run",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="continuously check simulator conservation laws (buffer "
+             "occupancy, byte accounting, admission release, time "
+             "monotonicity) while experiments run; violations fail the "
+             "experiment and audit totals land in the manifest telemetry",
+    )
 
 
 def _add_generation_args(parser: argparse.ArgumentParser) -> None:
@@ -220,6 +227,7 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
         ),
         cache_dir=_cache_dir(args),
         verbose=verbose,
+        audit=getattr(args, "audit", False),
     )
 
 

@@ -9,6 +9,7 @@ and caching it, so running all experiments costs one dataset pass.
 from __future__ import annotations
 
 import threading
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 
 from ..analysis.racks import (
@@ -24,6 +25,7 @@ from ..errors import ConfigError
 from ..fleet.cache import DatasetCache
 from ..fleet.dataset import RegionDataset, generate_region_dataset
 from ..obs.metrics import Metrics
+from ..simnet.audit import InvariantAuditor, audited
 from ..workload.region import REGION_A, REGION_B, RegionSpec
 
 
@@ -44,12 +46,33 @@ class ExperimentContext:
     #: Telemetry registry shared by dataset generation, the cache, and
     #: every experiment run against this context (see repro.obs).
     metrics: Metrics = field(default_factory=Metrics, repr=False, compare=False)
+    #: Enable the runtime invariant auditor (see repro.simnet.audit):
+    #: every simulator built inside :meth:`audit_scope` is continuously
+    #: checked against the conservation laws, and violation/check totals
+    #: land on :attr:`metrics` (hence in ``--manifest`` telemetry).
+    audit: bool = False
+    auditor: InvariantAuditor | None = field(default=None, repr=False, compare=False)
     _datasets: dict[str, RegionDataset] = field(default_factory=dict, repr=False)
     #: Serializes lazy dataset construction so parallel experiments
     #: never generate the same region twice.
     _dataset_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        if self.audit and self.auditor is None:
+            self.auditor = InvariantAuditor(metrics=self.metrics)
+
+    def audit_scope(self) -> AbstractContextManager:
+        """Scope in which simulators pick up this context's auditor.
+
+        A no-op when auditing is off; the orchestrator wraps every
+        experiment in this scope, so ``--audit`` needs no per-experiment
+        plumbing (components capture the active tap at construction).
+        """
+        if self.auditor is None:
+            return nullcontext()
+        return audited(self.auditor)
 
     @classmethod
     def small(cls, racks: int = 24, runs_per_rack: int = 4, seed: int = 3) -> "ExperimentContext":

@@ -142,7 +142,12 @@ def _run_one(
     result: ExperimentResult | None = None
     error: str | None = None
     try:
-        with ctx.metrics.span(f"experiment/{experiment_id}"):
+        # audit_scope installs the context's InvariantAuditor (when
+        # --audit is on) around the experiment body *inside* the failure
+        # boundary: a conservation-law violation fails that experiment
+        # like any other error, and the scope's exit re-verifies global
+        # state (occupancy vs in-flight admissions) after a clean run.
+        with ctx.audit_scope(), ctx.metrics.span(f"experiment/{experiment_id}"):
             result = get_experiment(experiment_id)(ctx)
     except Exception as exc:
         if reraise:

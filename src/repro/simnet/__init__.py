@@ -7,6 +7,8 @@ Choudhury-Hahne dynamic-threshold buffer, static-threshold ECN marking,
 multicast replication, and DCTCP/Cubic TCP endpoints.
 """
 
+from .audit import AuditTap, InvariantAuditor, active_tap, audited, install, uninstall
+from ..errors import InvariantViolation
 from .engine import Engine
 from .clock import HostClock, NtpDiscipline
 from .packet import Packet, FlowKey
@@ -21,6 +23,13 @@ from .topology import Rack, build_rack
 from .fabric import FabricSwitch, Pod, build_pod
 
 __all__ = [
+    "AuditTap",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "active_tap",
+    "audited",
+    "install",
+    "uninstall",
     "Engine",
     "HostClock",
     "NtpDiscipline",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..config import BufferConfig
 from ..errors import SimulationError
+from .audit import active_tap
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,7 @@ class SharedBuffer:
         self.config = config or BufferConfig()
         self._queues: dict[str, _QueueState] = {}
         self._shared_occupancy = 0
+        self._audit = active_tap()
 
     # -- registration -------------------------------------------------------
 
@@ -113,19 +115,27 @@ class SharedBuffer:
             if state.shared_used + from_shared > threshold:
                 state.discarded_packets += 1
                 state.discarded_bytes += size
-                return BufferAdmission(
+                admission = BufferAdmission(
                     False, reason=f"over dynamic threshold ({threshold:.0f}B)"
                 )
+                self._audit.on_admit(self, queue_id, size, admission)
+                return admission
             if from_shared > pool_free:
                 state.discarded_packets += 1
                 state.discarded_bytes += size
-                return BufferAdmission(False, reason="shared pool exhausted")
+                admission = BufferAdmission(False, reason="shared pool exhausted")
+                self._audit.on_admit(self, queue_id, size, admission)
+                return admission
 
         state.dedicated_used += from_dedicated
         state.shared_used += from_shared
         state.admitted_bytes += size
         self._shared_occupancy += from_shared
-        return BufferAdmission(True, dedicated_bytes=from_dedicated, shared_bytes=from_shared)
+        admission = BufferAdmission(
+            True, dedicated_bytes=from_dedicated, shared_bytes=from_shared
+        )
+        self._audit.on_admit(self, queue_id, size, admission)
+        return admission
 
     def release(self, queue_id: str, admission: BufferAdmission) -> None:
         """Return a previously admitted packet's bytes to the buffer."""
@@ -140,6 +150,7 @@ class SharedBuffer:
         state.dedicated_used -= admission.dedicated_bytes
         state.shared_used -= admission.shared_bytes
         self._shared_occupancy -= admission.shared_bytes
+        self._audit.on_release(self, queue_id, admission)
 
     # -- accounting -----------------------------------------------------------
 
@@ -160,3 +171,4 @@ class SharedBuffer:
             state.discarded_packets = 0
             state.discarded_bytes = 0
             state.admitted_bytes = 0
+        self._audit.on_reset_counters(self)

@@ -12,6 +12,7 @@ import itertools
 from typing import Callable
 
 from ..errors import SimulationError
+from .audit import active_tap
 
 
 class Engine:
@@ -22,6 +23,7 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._events_run = 0
+        self._audit = active_tap()
 
     @property
     def now(self) -> float:
@@ -42,6 +44,7 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < now {self._now})"
             )
+        self._audit.on_schedule(self, time)
         heapq.heappush(self._heap, (time, next(self._sequence), callback))
 
     def after(self, delay: float, callback: Callable[[], None]) -> None:
@@ -55,6 +58,7 @@ class Engine:
         if not self._heap:
             return False
         time, _seq, callback = heapq.heappop(self._heap)
+        self._audit.on_advance(self, time)
         self._now = time
         self._events_run += 1
         callback()
@@ -77,5 +81,5 @@ class Engine:
         budget = max_events
         while self.step():
             budget -= 1
-            if budget <= 0:
+            if budget <= 0 and self._heap:
                 raise SimulationError("event budget exhausted; likely a scheduling loop")

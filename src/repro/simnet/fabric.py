@@ -26,6 +26,7 @@ import numpy as np
 from .. import units
 from ..config import BufferConfig, RackConfig, SamplerConfig
 from ..errors import SimulationError
+from .audit import active_tap
 from .engine import Engine
 from .link import Link
 from .packet import Packet
@@ -62,6 +63,7 @@ class FabricSwitch:
         self._rack_of_host: dict[str, str] = {}
         self.forwarded_bytes = 0
         self.discard_bytes = 0
+        self._audit = active_tap()
 
     def attach_rack(self, rack: Rack, uplink_rate: float = units.gbps(400)) -> None:
         """Wire a rack under the fabric.
@@ -97,10 +99,12 @@ class FabricSwitch:
         if rack_name is None:
             raise SimulationError(f"fabric has no route to {packet.dst!r}")
         queue = self._downlinks[rack_name]
-        if queue.enqueue(packet):
+        admitted = queue.enqueue(packet)
+        if admitted:
             self.forwarded_bytes += packet.size
         else:
             self.discard_bytes += packet.size
+        self._audit.on_fabric_enqueue(self, rack_name, packet, admitted)
 
     @property
     def racks(self) -> list[str]:

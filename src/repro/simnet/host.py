@@ -13,6 +13,7 @@ from typing import Callable
 from .. import units
 from ..core.millisampler import Direction
 from ..errors import SimulationError
+from .audit import active_tap
 from .clock import HostClock
 from .engine import Engine
 from .link import Link
@@ -45,6 +46,7 @@ class Host:
         self.default_handler: Callable[[Packet], None] | None = None
         self.received_bytes = 0
         self.sent_bytes = 0
+        self._audit = active_tap()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -71,12 +73,14 @@ class Host:
             raise SimulationError(f"host {self.name} cannot send packet from {packet.src}")
         self.taps.dispatch(packet, Direction.EGRESS, self.engine.now)
         self.sent_bytes += packet.size
+        self._audit.on_host_send(self, packet)
         self.uplink.transmit(packet, self._forward)
 
     def deliver(self, packet: Packet) -> None:
         """Receive a packet from the ToR: ingress taps, then demux."""
         self.taps.dispatch(packet, Direction.INGRESS, self.engine.now)
         self.received_bytes += packet.size
+        self._audit.on_host_deliver(self, packet)
         handler = self._flow_handlers.get(packet.flow.as_tuple())
         if handler is not None:
             handler(packet)

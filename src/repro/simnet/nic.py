@@ -15,6 +15,7 @@ from dataclasses import replace
 
 from .. import units
 from ..errors import SimulationError
+from .audit import active_tap
 from .packet import Packet
 
 #: TCP/IP header bytes carried by each wire packet.
@@ -33,6 +34,7 @@ class Nic:
             raise SimulationError("GSO maximum cannot be below the MTU")
         self.mtu = mtu
         self.gso_max = gso_max
+        self._audit = active_tap()
 
     def segment(self, packet: Packet) -> list[Packet]:
         """Split a super-segment into MTU-sized wire packets (TSO).
@@ -46,6 +48,7 @@ class Nic:
                 f"segment of {packet.size}B exceeds GSO maximum {self.gso_max}B"
             )
         if packet.size <= self.mtu or packet.payload == 0:
+            self._audit.on_segment(self, packet, [packet])
             return [packet]
 
         max_payload = self.mtu - HEADER_BYTES
@@ -65,6 +68,7 @@ class Nic:
             )
             seq += payload
             remaining -= payload
+        self._audit.on_segment(self, packet, pieces)
         return pieces
 
     def coalesce(self, packets: list[Packet]) -> list[Packet]:
@@ -103,4 +107,5 @@ class Nic:
                 current = packet
         if current is not None:
             merged.append(current)
+        self._audit.on_coalesce(self, packets, merged)
         return merged

@@ -11,6 +11,7 @@ from collections import deque
 from typing import Callable
 
 from ..errors import SimulationError
+from .audit import active_tap
 from .buffer import BufferAdmission, SharedBuffer
 from .engine import Engine
 from .packet import Packet
@@ -41,6 +42,7 @@ class EgressQueue:
         self._draining = False
         self.dequeued_bytes = 0
         self.dequeued_packets = 0
+        self._audit = active_tap()
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -58,6 +60,7 @@ class EgressQueue:
             return False
         packet.enqueued_at = self.engine.now
         self._fifo.append((packet, admission))
+        self._audit.on_enqueue(self, packet)
         if not self._draining:
             self._draining = True
             self._drain_next()
@@ -78,6 +81,7 @@ class EgressQueue:
         self.buffer.release(self.queue_id, admission)
         self.dequeued_bytes += packet.size
         self.dequeued_packets += 1
+        self._audit.on_dequeue(self, packet)
         # Deliver after propagation; keep draining immediately.
         self.engine.after(self.propagation_delay, lambda: self.on_dequeue(packet))
         self._drain_next()

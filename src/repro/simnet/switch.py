@@ -16,6 +16,7 @@ from typing import Callable
 from .. import units
 from ..config import BufferConfig
 from ..errors import SimulationError
+from .audit import active_tap
 from .buffer import SharedBuffer
 from .engine import Engine
 from .packet import Packet
@@ -69,6 +70,7 @@ class ToRSwitch:
             raise SimulationError("switch needs at least one quadrant")
         self.engine = engine
         self.buffer_config = buffer_config or BufferConfig()
+        self._audit = active_tap()
         self.quadrants = [SharedBuffer(self.buffer_config) for _ in range(num_quadrants)]
         self.counters = SwitchCounters()
         self._queues: dict[str, EgressQueue] = {}
@@ -155,10 +157,13 @@ class ToRSwitch:
         unicast destinations go up the default route (the fabric)."""
         self.counters.ingress_bytes += packet.size
         if packet.multicast_group is not None:
+            self._audit.on_switch_ingress(self, packet, "multicast")
             self._forward_multicast(packet)
         elif packet.dst not in self._queues and self.default_route is not None:
+            self._audit.on_switch_ingress(self, packet, "uplink")
             self.default_route(packet)
         else:
+            self._audit.on_switch_ingress(self, packet, "local")
             self._enqueue(packet.dst, packet)
 
     def _forward_multicast(self, packet: Packet) -> None:
@@ -170,6 +175,7 @@ class ToRSwitch:
                 continue
             if not self._multicast_bucket.allow(packet.size, self.engine.now):
                 self.counters.multicast_rate_drops += 1
+                self._audit.on_multicast_rate_drop(self, packet)
                 continue
             self.counters.multicast_replicas += 1
             self._enqueue(member, packet.copy_for(member))
@@ -178,20 +184,29 @@ class ToRSwitch:
         queue = self.queue_for(server)
         # Static-threshold ECN marking at enqueue time (Section 3:
         # "a 120 KB static ECN threshold for all our ToRs").
+        marked = False
         if (
             packet.ecn_capable
             and not packet.is_ack
             and queue.occupancy > self.buffer_config.ecn_threshold_bytes
         ):
             packet = packet.marked()
-            self.counters.ecn_marked_bytes += packet.size
-        if queue.enqueue(packet):
+            marked = True
+        admitted = queue.enqueue(packet)
+        if admitted:
             self.counters.forwarded_bytes += packet.size
+            # Marked bytes count only when the packet is actually
+            # buffered: a marked-then-discarded packet never carries its
+            # CE codepoint anywhere, and counting it would inflate the
+            # ECN/discard correlation (Figure 17).
+            if marked:
+                self.counters.ecn_marked_bytes += packet.size
         else:
             self.counters.discard_bytes += packet.size
             self.counters.discard_packets += 1
-            if self.on_drop is not None:
-                self.on_drop(packet, server)
+        self._audit.on_switch_enqueue(self, server, packet, admitted, marked)
+        if not admitted and self.on_drop is not None:
+            self.on_drop(packet, server)
 
     # -- telemetry --------------------------------------------------------------
 

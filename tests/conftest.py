@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import units
 from repro.core.run import MillisamplerRun, RunMetadata, SyncRun
 from repro.experiments.context import ExperimentContext
+
+
+# Hypothesis profiles: "dev" (default) explores freely; "ci" is fully
+# deterministic (derandomize replays the same minimal example set every
+# run) and bounded so the property suite stays fast in CI.  Select with
+# HYPOTHESIS_PROFILE=ci.
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.register_profile(
+    "ci", max_examples=25, deadline=None, derandomize=True, print_blob=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -63,6 +63,52 @@ class TestSyncMillisampler:
         with pytest.raises(SamplerError):
             SyncMillisampler().assemble("nope")
 
+    def test_assemble_picks_sync_run_over_adjacent_periodic_run(self):
+        """Regression: a *periodic* run that started just inside the
+        50 ms clock-skew tolerance window must not be mistaken for the
+        sync run.  The host's agent records which stored run answered
+        the sync request, so assembly matches exactly."""
+        from repro.core.millisampler import Direction, PacketObservation
+
+        sync = SyncMillisampler()
+        host = make_host("h0")
+        sync_id = sync.request_collection(
+            [host], "r0", "RegA", start_time=1.0, now=0.0
+        )
+        # A periodic run landed in the store 30 ms before the sync start
+        # — inside the tolerance, so naive earliest-candidate selection
+        # would pick it.
+        periodic = make_run(np.ones(10), host="h0", start_time=0.97)
+        host.store.store(periodic)
+
+        host.poll(now=1.0)  # the sync run begins
+        host.sampler.observe(
+            PacketObservation(
+                time=1.0002, direction=Direction.INGRESS, size=500, flow_key="f"
+            )
+        )
+        host.poll(now=1.02)  # harvest
+
+        sync_run = sync.assemble(sync_id)
+        chosen = sync_run.runs[0]
+        assert chosen.meta.start_time != periodic.meta.start_time
+        assert chosen.meta.start_time == pytest.approx(1.0, abs=50e-3)
+        assert chosen.in_bytes.sum() == 500
+
+    def test_assemble_fallback_picks_nearest_candidate(self):
+        """Runs stored outside the poll loop (replayed from disk) have
+        no recorded sync id; the fallback picks the candidate nearest
+        the requested start, not the earliest in the window."""
+        sync = SyncMillisampler()
+        host = make_host("h0")
+        sync_id = sync.request_collection(
+            [host], "r0", "RegA", start_time=1.0, now=0.0
+        )
+        host.store.store(make_run(np.ones(10), host="h0", start_time=0.97))
+        host.store.store(make_run(np.full(10, 2.0), host="h0", start_time=1.0005))
+        sync_run = sync.assemble(sync_id)
+        assert sync_run.runs[0].meta.start_time == pytest.approx(1.0005)
+
     def test_assemble_synthesizes_zero_run_for_idle_host(self):
         """A host that saw no traffic contributes an all-zero run — an
         idle server is data (zero contention), not an error."""

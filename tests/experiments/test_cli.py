@@ -147,6 +147,68 @@ class TestExpJobsParity:
         assert metrics_blob(1, "serial.json") == metrics_blob(4, "parallel.json")
 
 
+class TestAuditFlag:
+    def test_audited_run_is_clean_and_counted_in_manifest(self, tmp_path, capsys):
+        """Acceptance: the audited suite completes with zero violations,
+        and the manifest telemetry records how much auditing ran."""
+        manifest_path = str(tmp_path / "manifest.json")
+        rc = cli.main(
+            ["run", "fig1", "fig4", "--audit", "--manifest", manifest_path]
+            + FAST_ARGS
+        )
+        assert rc == 0
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        counters = manifest["telemetry"]["counters"]
+        assert counters.get("audit.violations", 0) == 0
+        assert counters["audit.events"] > 0
+        assert counters["audit.checks"] >= counters["audit.events"]
+
+    def test_audit_off_records_no_audit_counters(self, tmp_path):
+        manifest_path = str(tmp_path / "manifest.json")
+        assert cli.main(["run", "fig1", "--manifest", manifest_path] + FAST_ARGS) == 0
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert not any(
+            name.startswith("audit.")
+            for name in manifest["telemetry"]["counters"]
+        )
+
+    def test_audit_violation_fails_the_experiment(self, tmp_path, capsys, monkeypatch):
+        """An invariant violation inside one experiment is reported
+        through the normal failure boundary: that experiment fails, the
+        rest of the suite completes."""
+        from repro.experiments.registry import get_experiment as real
+
+        def fake(experiment_id):
+            if experiment_id == "fig4":
+                def corrupt(ctx):
+                    from repro.config import BufferConfig
+                    from repro.simnet.buffer import SharedBuffer
+
+                    buffer = SharedBuffer(BufferConfig(shared_bytes=1000))
+                    buffer.register_queue("q0")
+                    buffer.admit("q0", 100)
+                    buffer._shared_occupancy += 7  # corrupt the pool counter
+                    buffer.admit("q0", 100)  # next event trips the auditor
+                return corrupt
+            return real(experiment_id)
+
+        monkeypatch.setattr(orchestrator, "get_experiment", fake)
+        manifest_path = str(tmp_path / "manifest.json")
+        rc = cli.main(
+            ["run", "fig1", "fig4", "--audit", "--manifest", manifest_path]
+            + FAST_ARGS
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "shared-occupancy-sync" in captured.err
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["failed"] == ["fig4"]
+        assert manifest["telemetry"]["counters"]["audit.violations"] >= 1
+
+
 class TestProfileFlag:
     def test_profile_prints_timers(self, capsys):
         assert cli.main(["run", "fig1", "--profile"] + FAST_ARGS) == 0

@@ -143,6 +143,57 @@ class TestRelease:
         with pytest.raises(SimulationError):
             buffer.release("q0", rejected)
 
+    def test_double_release_with_other_bytes_outstanding_is_silent(self):
+        """The buffer's own guard only fires on counter underflow: a
+        double release while other admissions keep the counters positive
+        silently corrupts occupancy.  This pins down why the audit tap's
+        release-once law exists (see tests/simnet/test_audit.py for the
+        auditor catching it)."""
+        buffer = make_buffer(shared=1000)
+        buffer.register_queue("q0")
+        first = buffer.admit("q0", 100)
+        buffer.admit("q0", 100)
+        buffer.release("q0", first)
+        buffer.release("q0", first)  # no underflow -> no error
+        # Occupancy is now wrong: 100 admitted bytes remain buffered but
+        # the counters read zero.
+        assert buffer.queue_occupancy("q0") == 0
+        assert buffer.shared_occupancy == 0
+
+    def test_partial_release_keeps_remaining_charges(self):
+        """Releasing one of several admissions returns exactly that
+        admission's dedicated/shared split and leaves the rest charged."""
+        buffer = make_buffer(shared=1000, dedicated=150)
+        buffer.register_queue("q0")
+        first = buffer.admit("q0", 100)   # all dedicated
+        second = buffer.admit("q0", 100)  # 50 dedicated + 50 shared
+        assert (second.dedicated_bytes, second.shared_bytes) == (50, 50)
+        buffer.release("q0", second)
+        assert buffer.queue_occupancy("q0") == 100
+        assert buffer.shared_occupancy == 0
+        buffer.release("q0", first)
+        assert buffer.queue_occupancy("q0") == 0
+
+    def test_reset_counters_mid_run_preserves_occupancy(self):
+        """A per-minute counter rollover zeroes the cumulative counters
+        but must not touch live buffer state: outstanding admissions
+        stay charged and releasable."""
+        buffer = make_buffer(shared=1000, dedicated=50)
+        buffer.register_queue("q0")
+        held = buffer.admit("q0", 200)
+        buffer.admit("q0", 2000)  # discarded
+        buffer.reset_counters()
+        assert buffer.total_admitted_bytes() == 0
+        assert buffer.total_discard_bytes() == 0
+        assert buffer.queue_occupancy("q0") == 200
+        assert buffer.shared_occupancy == 150
+        # Post-reset traffic accounts from zero; the held admission
+        # still releases cleanly.
+        buffer.admit("q0", 100)
+        assert buffer.total_admitted_bytes() == 100
+        buffer.release("q0", held)
+        assert buffer.queue_occupancy("q0") == 100
+
 
 class TestActiveQueues:
     def test_active_queue_counting(self):

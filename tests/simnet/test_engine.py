@@ -81,6 +81,24 @@ class TestEngine:
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
 
+    def test_exact_budget_drains_heap_without_raising(self):
+        """Regression: draining exactly ``max_events`` events is success,
+        not budget exhaustion — the guard must check whether events
+        remain before raising."""
+        engine = Engine()
+        for index in range(100):
+            engine.at(float(index), lambda: None)
+        engine.run(max_events=100)
+        assert engine.events_run == 100
+        assert engine.pending == 0
+
+    def test_budget_one_short_still_raises(self):
+        engine = Engine()
+        for index in range(101):
+            engine.at(float(index), lambda: None)
+        with pytest.raises(SimulationError, match="budget exhausted"):
+            engine.run(max_events=100)
+
     def test_step_returns_false_when_empty(self):
         assert Engine().step() is False
 

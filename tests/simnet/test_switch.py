@@ -90,6 +90,29 @@ class TestEcnMarking:
         engine.run(max_events=1000)
         assert not any(packet.ecn_ce for packet in received)
 
+    def test_marked_then_discarded_packet_not_counted(self):
+        """Regression: ``ecn_marked_bytes`` must count only marked
+        packets the buffer actually admitted.  With the queue over the
+        ECN threshold *and* the buffer full, every further packet is
+        marked and then discarded — none of those bytes may land in the
+        marked counter (pre-fix they all did, inflating the Figure 17
+        ECN/discard correlation)."""
+        engine, switch = make_switch(
+            shared_bytes=3000, dedicated_bytes_per_queue=0, alpha=1.0,
+            ecn_threshold_bytes=100,
+        )
+        switch.connect_server("s0", lambda p: None, rate=1.0)  # no real drain
+        marked_before_full = None
+        for _ in range(10):
+            switch.forward(data_packet("s0", size=1000))
+            if switch.counters.discard_packets == 0:
+                marked_before_full = switch.counters.ecn_marked_bytes
+        assert switch.counters.discard_packets > 0
+        # Every discarded packet was over-threshold (hence marked); the
+        # counter must not have moved since the buffer filled.
+        assert switch.counters.ecn_marked_bytes == marked_before_full
+        assert switch.counters.ecn_marked_bytes <= switch.counters.forwarded_bytes
+
     def test_acks_not_marked(self):
         engine, switch = make_switch(ecn_threshold_bytes=10)
         received = []
@@ -179,6 +202,36 @@ class TestMulticast:
         switch.join_multicast("g", "s0")
         switch.leave_multicast("g", "s0")
         assert switch.multicast_members("g") == []
+
+
+class TestTokenBucket:
+    """Pins down `_TokenBucket` semantics at the simulation epoch —
+    the audit taps rely on rate-drop accounting being exact from t=0."""
+
+    def test_full_burst_available_at_time_zero(self):
+        from repro.simnet.switch import _TokenBucket
+
+        bucket = _TokenBucket(rate=1000.0, burst=500.0)
+        assert bucket.allow(500, now=0.0)
+        # The burst is spent; nothing has refilled at the same instant.
+        assert not bucket.allow(1, now=0.0)
+
+    def test_oversized_request_at_time_zero_rejected_without_spend(self):
+        from repro.simnet.switch import _TokenBucket
+
+        bucket = _TokenBucket(rate=1000.0, burst=500.0)
+        assert not bucket.allow(501, now=0.0)
+        # A rejected request spends nothing: the full burst remains.
+        assert bucket.allow(500, now=0.0)
+
+    def test_refill_accrues_from_time_zero(self):
+        from repro.simnet.switch import _TokenBucket
+
+        bucket = _TokenBucket(rate=1000.0, burst=500.0)
+        assert bucket.allow(500, now=0.0)
+        # 0.1 s at 1000 B/s refills exactly 100 tokens.
+        assert bucket.allow(100, now=0.1)
+        assert not bucket.allow(1, now=0.1)
 
 
 class TestTelemetry:

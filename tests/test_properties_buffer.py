@@ -1,0 +1,104 @@
+"""Property suite: random admit/release sequences against the auditor.
+
+Hypothesis drives arbitrary interleavings of admissions, releases, and
+counter resets on an audited :class:`SharedBuffer`; the
+:class:`InvariantAuditor` checks every conservation law on every event,
+so any counter-accounting regression in the buffer surfaces as an
+:class:`InvariantViolation` here rather than as a silently skewed
+figure.  Select the deterministic CI profile with HYPOTHESIS_PROFILE=ci
+(registered in tests/conftest.py).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BufferConfig
+from repro.simnet.audit import audited
+from repro.simnet.buffer import SharedBuffer
+
+QUEUES = ["q0", "q1", "q2", "q3"]
+
+#: (op, queue_index, size): op 0-2 = admit (weighted toward admits),
+#: op 3 = release the oldest held admission on that queue, op 4 = reset
+#: the cumulative counters.
+OPERATIONS = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, len(QUEUES) - 1), st.integers(1, 600)),
+    max_size=300,
+)
+
+CONFIGS = st.sampled_from(
+    [
+        # (shared, dedicated, alpha): a tight pool, a dedicated-heavy
+        # pool, and a paper-like quadrant shape.
+        (1000, 0.0, 1.0),
+        (1000, 200.0, 2.0),
+        (4000, 50.0, 0.5),
+    ]
+)
+
+
+@given(operations=OPERATIONS, config=CONFIGS)
+@settings(max_examples=60)
+def test_random_admit_release_sequences_conserve_bytes(operations, config):
+    shared, dedicated, alpha = config
+    with audited() as auditor:
+        buffer = SharedBuffer(
+            BufferConfig(
+                shared_bytes=shared,
+                dedicated_bytes_per_queue=dedicated,
+                alpha=alpha,
+                ecn_threshold_bytes=100,
+            )
+        )
+        held: dict[str, list] = {name: [] for name in QUEUES}
+        for name in QUEUES:
+            buffer.register_queue(name)
+        for op, queue_index, size in operations:
+            name = QUEUES[queue_index]
+            if op <= 2:
+                admission = buffer.admit(name, size)
+                if admission.accepted:
+                    held[name].append(admission)
+            elif op == 3 and held[name]:
+                buffer.release(name, held[name].pop(0))
+            elif op == 4:
+                buffer.reset_counters()
+        # Drain everything: the pool must return to exactly empty.
+        for name, admissions in held.items():
+            for admission in admissions:
+                buffer.release(name, admission)
+        assert buffer.shared_occupancy == 0
+        for name in QUEUES:
+            assert buffer.queue_occupancy(name) == 0
+    assert auditor.violations == []
+    admit_count = sum(1 for op, _q, _s in operations if op <= 2)
+    assert auditor.events >= admit_count
+
+
+@given(
+    sizes=st.lists(st.integers(1, 500), min_size=1, max_size=100),
+    dedicated=st.integers(0, 300),
+)
+@settings(max_examples=40)
+def test_admission_split_always_sums_to_size(sizes, dedicated):
+    """Every accepted admission's dedicated + shared charges equal the
+    packet size, and dedicated usage never exceeds the per-queue cap
+    (checked per-event by the auditor; re-asserted here end-to-end)."""
+    with audited() as auditor:
+        buffer = SharedBuffer(
+            BufferConfig(
+                shared_bytes=2000,
+                dedicated_bytes_per_queue=float(dedicated),
+                alpha=1.0,
+                ecn_threshold_bytes=100,
+            )
+        )
+        buffer.register_queue("q0")
+        admitted_bytes = 0
+        for size in sizes:
+            admission = buffer.admit("q0", size)
+            if admission.accepted:
+                assert admission.dedicated_bytes + admission.shared_bytes == size
+                admitted_bytes += size
+        assert buffer.total_admitted_bytes() == admitted_bytes
+        assert buffer.queue_occupancy("q0") == admitted_bytes
+    assert auditor.violations == []

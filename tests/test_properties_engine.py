@@ -1,0 +1,86 @@
+"""Property suite: random event schedules against the engine laws.
+
+Time monotonicity and the exact-budget semantics of ``Engine.run`` hold
+for arbitrary schedules, including events that schedule further events.
+The exact-budget case is the regression for the off-by-one where
+draining exactly ``max_events`` events raised "budget exhausted".
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simnet.audit import audited
+from repro.simnet.engine import Engine
+
+TIMES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=60
+)
+
+
+@given(times=TIMES)
+@settings(max_examples=50)
+def test_random_schedules_keep_time_monotone(times):
+    with audited() as auditor:
+        engine = Engine()
+        executed = []
+        for t in times:
+            engine.at(t, lambda t=t: executed.append(t))
+        engine.run()
+    assert executed == sorted(times)
+    assert auditor.violations == []
+
+
+@given(times=TIMES, fanout=st.integers(0, 3))
+@settings(max_examples=30)
+def test_events_scheduling_events_stay_monotone(times, fanout):
+    """Events that schedule follow-ups never move time backwards and
+    never place an event in the past."""
+    with audited() as auditor:
+        engine = Engine()
+
+        def chain(depth: int) -> None:
+            if depth > 0:
+                engine.after(0.25, lambda: chain(depth - 1))
+
+        for t in times:
+            engine.at(t, lambda: chain(fanout))
+        engine.run()
+    assert auditor.violations == []
+    assert engine.events_run == len(times) * (1 + fanout)
+
+
+@given(n=st.integers(1, 50))
+@settings(max_examples=30)
+def test_exact_budget_is_not_exhaustion(n):
+    """Regression (satellite fix 1): draining exactly ``max_events``
+    events completes; a budget one short of the heap raises."""
+    engine = Engine()
+    for index in range(n):
+        engine.at(float(index), lambda: None)
+    engine.run(max_events=n)  # exactly enough: must not raise
+    assert engine.events_run == n
+    assert engine.pending == 0
+
+    refill = Engine()
+    for index in range(n + 1):
+        refill.at(float(index), lambda: None)
+    with pytest.raises(SimulationError, match="budget exhausted"):
+        refill.run(max_events=n)
+
+
+@given(
+    n=st.integers(1, 30),
+    end=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+)
+@settings(max_examples=30)
+def test_run_until_budget_matches_due_events(n, end):
+    """``run_until`` raises only when a *due* event remains past the
+    budget — the same exact-budget semantics as ``run``."""
+    engine = Engine()
+    for index in range(n):
+        engine.at(float(index), lambda: None)
+    due = min(n, int(end) + 1)
+    engine.run_until(end, max_events=due)  # exactly the due events
+    assert engine.events_run == due
+    assert engine.now == max(end, float(due - 1))

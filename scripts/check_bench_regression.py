@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark JSON run against a committed baseline.
+
+CI runners are noisy shared machines, so this gate is deliberately
+coarse: it fails only on *gross* regressions (default: a benchmark's
+mean slowing by more than 5x), which catches accidental algorithmic
+pessimizations (a vectorized path silently falling back to a Python
+loop) without flaking on scheduler jitter.  Benchmarks present in only
+one file are reported but never fatal, so adding or retiring a
+benchmark does not require regenerating the baseline in the same
+commit.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_substrates.json bench_new.json
+    python scripts/check_bench_regression.py baseline.json new.json --max-slowdown 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    means = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="freshly generated JSON")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=5.0,
+        help="fail when current mean exceeds baseline mean by this factor",
+    )
+    args = parser.parse_args()
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if not baseline:
+        print(f"no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"no benchmarks in current run {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in baseline:
+            print(f"NEW      {name}: {current[name] * 1e3:.2f} ms (no baseline)")
+            continue
+        if name not in current:
+            print(f"MISSING  {name}: present only in baseline")
+            continue
+        ratio = current[name] / baseline[name]
+        status = "OK"
+        if ratio > args.max_slowdown:
+            status = "REGRESSED"
+            failures.append((name, ratio))
+        print(
+            f"{status:<8} {name}: {baseline[name] * 1e3:.2f} ms -> "
+            f"{current[name] * 1e3:.2f} ms ({ratio:.2f}x)"
+        )
+
+    if failures:
+        worst = max(failures, key=lambda item: item[1])
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond "
+            f"{args.max_slowdown:.1f}x (worst: {worst[0]} at {worst[1]:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,16 @@ class FleetConfig:
     #: data (per-(rack, run) seed streams make any fan-out identical),
     #: and is therefore excluded from the dataset cache key.
     jobs: int = 1
+    #: Rack runs per batched fluid-model pass (see
+    #: :meth:`repro.fleet.buffermodel.FluidBufferModel.run_batch`).
+    #: Execution-only like ``jobs``: any batch size produces
+    #: bit-identical data, larger batches amortize the per-bucket time
+    #: loop over more runs at the cost of holding that many raw runs in
+    #: memory at once (~20 MB per run at paper scale).  16 is the
+    #: measured knee: roughly 2x end-to-end region generation vs the
+    #: serial kernel, with diminishing returns (and growing footprint)
+    #: beyond it.
+    fluid_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.racks_per_region <= 0:
@@ -139,6 +149,8 @@ class FleetConfig:
             raise ConfigError("hours must be within a day")
         if self.jobs < 0:
             raise ConfigError("jobs cannot be negative (0 means all cores)")
+        if self.fluid_batch < 1:
+            raise ConfigError("fluid batch must contain at least one run")
 
 
 #: The configuration used throughout the paper's analysis.

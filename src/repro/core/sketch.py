@@ -15,11 +15,17 @@ paper notes.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
+
+import numpy as np
 
 from ..errors import SamplerError
 
 #: Number of bits in the production sketch.
 SKETCH_BITS = 128
+
+#: 64-bit words backing one sketch bitmap (word 0 holds bits 0-63).
+SKETCH_WORDS = SKETCH_BITS // 64
 
 #: With 128 bits the linear-counting estimate is finite only while at
 #: least one bit is zero; a full bitmap is reported as this saturation
@@ -40,8 +46,7 @@ def _fnv1a(data: bytes) -> int:
     return value
 
 
-def hash_flow_key(key: object) -> int:
-    """Deterministically hash a flow key (e.g. a 5-tuple) to a bit index."""
+def _hash_flow_key_raw(key: object) -> int:
     if isinstance(key, bytes):
         data = key
     elif isinstance(key, str):
@@ -53,6 +58,51 @@ def hash_flow_key(key: object) -> int:
     else:
         raise SamplerError(f"unhashable flow key type: {type(key).__name__}")
     return _fnv1a(data) % SKETCH_BITS
+
+
+#: Bounded memo for the byte-at-a-time FNV walk: packet streams repeat
+#: a small working set of 5-tuples millions of times, so in steady
+#: state the hash is one dict probe instead of ~40 byte operations.
+_hash_flow_key_cached = lru_cache(maxsize=1 << 16)(_hash_flow_key_raw)
+
+
+def hash_flow_key(key: object) -> int:
+    """Deterministically hash a flow key (e.g. a 5-tuple) to a bit index.
+
+    Hashable keys (tuples, ints, strings, bytes) are served from a
+    bounded LRU memo; anything unhashable falls through to the direct
+    FNV walk with the historical semantics.
+    """
+    try:
+        return _hash_flow_key_cached(key)
+    except TypeError:
+        # e.g. a tuple containing a list: not memoizable, still hashable
+        # by repr - take the uncached path.
+        return _hash_flow_key_raw(key)
+
+
+def hash_flow_keys(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hash_flow_key` for integer key arrays.
+
+    Computes FNV-1a over the 8 little-endian bytes of each key — the
+    same walk the scalar path takes for a non-negative int — across the
+    whole array at once, and returns each key's bit index in
+    ``[0, SKETCH_BITS)``.  Feed the result to
+    :meth:`repro.core.millisampler.Millisampler.observe_batch` as
+    ``flow_bits``.
+    """
+    keys = np.asarray(keys)
+    if keys.dtype.kind not in "iu":
+        raise SamplerError("batch flow keys must be integers")
+    if keys.dtype.kind == "i" and keys.size and int(keys.min()) < 0:
+        raise SamplerError("batch flow keys must be non-negative")
+    words = keys.astype(np.uint64)
+    value = np.full(words.shape, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    byte_mask = np.uint64(0xFF)
+    for shift in range(0, 64, 8):
+        value = (value ^ ((words >> np.uint64(shift)) & byte_mask)) * prime
+    return (value % np.uint64(SKETCH_BITS)).astype(np.int64)
 
 
 class FlowSketch:
@@ -93,16 +143,53 @@ class FlowSketch:
         Exact-ish for small counts (every flow sets its own bit), rising
         error as the bitmap fills, and saturating when all bits are set.
         """
-        zeros = SKETCH_BITS - self.bits_set
-        if zeros == 0:
-            return float(SATURATION_ESTIMATE)
-        return SKETCH_BITS * math.log(SKETCH_BITS / zeros)
+        return float(linear_counting_estimates(SKETCH_BITS - self.bits_set))
+
+    def as_words(self) -> np.ndarray:
+        """The bitmap as ``SKETCH_WORDS`` little-endian uint64 words —
+        the layout the vectorized per-CPU sketch array uses."""
+        return np.array(
+            [
+                (self._bitmap >> (64 * word)) & _MASK64
+                for word in range(SKETCH_WORDS)
+            ],
+            dtype=np.uint64,
+        )
+
+    @classmethod
+    def from_words(cls, words: np.ndarray) -> "FlowSketch":
+        """Rebuild a sketch from its uint64 word backing (the inverse of
+        :meth:`as_words`); this is how the array-backed sampler exposes
+        the historical int-bitmap API as a view."""
+        if len(words) != SKETCH_WORDS:
+            raise SamplerError(f"sketch backing must have {SKETCH_WORDS} words")
+        bitmap = 0
+        for word in range(SKETCH_WORDS):
+            bitmap |= int(words[word]) << (64 * word)
+        return cls(bitmap)
 
     def reset(self) -> None:
         self._bitmap = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FlowSketch(bits_set={self.bits_set}, estimate={self.estimate():.1f})"
+
+
+def linear_counting_estimates(zeros):
+    """Linear-counting estimates from zero-bit counts, elementwise.
+
+    The single source of truth for the estimator math: the scalar
+    :meth:`FlowSketch.estimate` and the sampler's vectorized read-out
+    both evaluate this, so batched and per-sketch estimates are
+    bit-identical.  A full bitmap (``zeros == 0``) reports the
+    saturation value.
+    """
+    zeros = np.asarray(zeros, dtype=np.float64)
+    return np.where(
+        zeros == 0,
+        float(SATURATION_ESTIMATE),
+        SKETCH_BITS * np.log(SKETCH_BITS / np.maximum(zeros, 1.0)),
+    )
 
 
 def estimate_from_bitmap(bitmap: int) -> float:

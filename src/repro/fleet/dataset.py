@@ -39,7 +39,7 @@ from ..config import FleetConfig
 from ..errors import ConfigError
 from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload, RegionSpec, REGION_A, REGION_B, build_region_workloads
-from .rackrun import RackRunSynthesizer
+from .rackrun import BatchItem, RackRunSynthesizer
 
 #: Stream-tree branch tags (the first element of every spawn key).
 _PLACEMENT_STREAM = 0
@@ -199,26 +199,56 @@ def plan_region(spec: RegionSpec, config: FleetConfig) -> list[RackRunPlan]:
     return plans
 
 
+def _plan_items(plan: RackRunPlan, config: FleetConfig) -> list[BatchItem]:
+    """One rack day as batch items, each on its own seed-stream leaf."""
+    return [
+        (
+            plan.workload,
+            hour,
+            run_rng(plan.workload.region, config.seed, plan.rack_index, run_index),
+        )
+        for run_index, hour in enumerate(plan.hours)
+    ]
+
+
+def _summarize_batch(
+    items: list[BatchItem],
+    synthesizer: RackRunSynthesizer,
+    metrics: Metrics,
+) -> list[tuple[RunSummary, RackWorkload]]:
+    """Synthesize one fluid batch and reduce every run immediately."""
+    sync_runs = synthesizer.synthesize_batch(items, metrics=metrics)
+    with metrics.span("synthesis/summarize"):
+        return [
+            (summarize_run(sync_run), workload)
+            for (workload, _hour, _rng), sync_run in zip(items, sync_runs)
+        ]
+
+
 def iter_rack_day(
     plan: RackRunPlan,
     config: FleetConfig,
     synthesizer: RackRunSynthesizer | None = None,
+    metrics: Metrics | None = None,
 ) -> Iterator[RunSummary]:
-    """Synthesize and reduce one rack's runs, one at a time."""
+    """Synthesize and reduce one rack's runs, one fluid batch at a time."""
     synthesizer = synthesizer or RackRunSynthesizer()
-    for run_index, hour in enumerate(plan.hours):
-        rng = run_rng(plan.workload.region, config.seed, plan.rack_index, run_index)
-        sync_run = synthesizer.synthesize(plan.workload, hour, rng)
-        yield summarize_run(sync_run)
+    metrics = metrics if metrics is not None else Metrics()
+    items = _plan_items(plan, config)
+    for start in range(0, len(items), config.fluid_batch):
+        chunk = items[start : start + config.fluid_batch]
+        for summary, _workload in _summarize_batch(chunk, synthesizer, metrics):
+            yield summary
 
 
 def synthesize_rack_day(
     plan: RackRunPlan,
     config: FleetConfig,
     synthesizer: RackRunSynthesizer | None = None,
+    metrics: Metrics | None = None,
 ) -> list[RunSummary]:
     """One rack's reduced day — the unit of work a pool worker executes."""
-    return list(iter_rack_day(plan, config, synthesizer))
+    return list(iter_rack_day(plan, config, synthesizer, metrics))
 
 
 def iter_region_summaries(
@@ -226,22 +256,35 @@ def iter_region_summaries(
     config: FleetConfig,
     synthesizer: RackRunSynthesizer | None = None,
     progress: Callable[[int, int], None] | None = None,
+    metrics: Metrics | None = None,
 ) -> Iterator[tuple[RunSummary, RackWorkload]]:
     """Lazily generate (summary, workload) pairs for a region-day.
 
-    Raw runs are reduced and discarded immediately; peak memory is one
-    rack run.
+    Consecutive rack runs — across rack boundaries — are synthesized in
+    fluid batches of ``config.fluid_batch`` and reduced immediately, so
+    peak memory is one batch of raw runs regardless of region scale.
     """
     synthesizer = synthesizer or RackRunSynthesizer()
+    metrics = metrics if metrics is not None else Metrics()
     plans = plan_region(spec, config)
     total = len(plans) * config.runs_per_rack
     done = 0
+    buffer: list[BatchItem] = []
     for plan in plans:
-        for summary in iter_rack_day(plan, config, synthesizer):
+        buffer.extend(_plan_items(plan, config))
+        while len(buffer) >= config.fluid_batch:
+            chunk, buffer = buffer[: config.fluid_batch], buffer[config.fluid_batch :]
+            for summary, workload in _summarize_batch(chunk, synthesizer, metrics):
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+                yield summary, workload
+    if buffer:
+        for summary, workload in _summarize_batch(buffer, synthesizer, metrics):
             done += 1
             if progress is not None:
                 progress(done, total)
-            yield summary, plan.workload
+            yield summary, workload
 
 
 def generate_region_dataset(
@@ -276,7 +319,9 @@ def generate_region_dataset(
     summaries: list[RunSummary] = []
     workloads: dict[str, RackWorkload] = {}
     with metrics.span(f"generate/{spec.name}"):
-        for summary, workload in iter_region_summaries(spec, config, synthesizer, progress):
+        for summary, workload in iter_region_summaries(
+            spec, config, synthesizer, progress, metrics=metrics
+        ):
             summaries.append(summary)
             workloads[workload.rack] = workload
     metrics.incr("dataset.generated_runs", len(summaries))

@@ -38,9 +38,17 @@ def resolve_jobs(jobs: int) -> int:
 
 def _rack_day_task(
     plan: RackRunPlan, config: FleetConfig, synthesizer: RackRunSynthesizer | None
-) -> tuple[int, list[RunSummary]]:
-    """Top-level worker entry point (must be picklable)."""
-    return plan.rack_index, synthesize_rack_day(plan, config, synthesizer)
+) -> tuple[int, list[RunSummary], dict]:
+    """Top-level worker entry point (must be picklable).
+
+    Stage timers (demand/fluid/assemble/summarize) are recorded into a
+    worker-local registry and returned as a snapshot so the parent can
+    merge them; telemetry crosses the process boundary as plain data,
+    never as shared state.
+    """
+    worker_metrics = Metrics()
+    summaries = synthesize_rack_day(plan, config, synthesizer, metrics=worker_metrics)
+    return plan.rack_index, summaries, worker_metrics.snapshot()
 
 
 def generate_region_dataset_parallel(
@@ -80,10 +88,11 @@ def generate_region_dataset_parallel(
                     next_plan += 1
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    rack_index, summaries = future.result()
+                    rack_index, summaries, worker_snapshot = future.result()
                     per_rack[rack_index] = summaries
                     done += len(summaries)
                     metrics.incr("dataset.parallel.rack_days")
+                    metrics.merge(worker_snapshot)
                     if progress is not None:
                         progress(done, total)
     summaries = [summary for rack in per_rack for summary in (rack or [])]

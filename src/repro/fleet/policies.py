@@ -38,6 +38,14 @@ class SharingPolicy:
 
     name = "abstract"
 
+    #: True when :meth:`limits` is written with broadcasting-safe ops
+    #: (``[..., quadrant]`` indexing, shape-generic fills) so the batched
+    #: fluid kernel can call it directly on ``(runs, ...)`` arrays.  Every
+    #: built-in policy sets this; third-party policies written against the
+    #: per-run signature keep working through the :meth:`limits_batch`
+    #: fallback loop.
+    batch_limits = False
+
     def limits(
         self,
         shared_total: float,
@@ -55,11 +63,45 @@ class SharingPolicy:
         """
         raise NotImplementedError
 
+    def limits_batch(
+        self,
+        shared_total: float,
+        pool_used: np.ndarray,
+        quadrant: np.ndarray,
+        queue_shared_used: np.ndarray,
+        active_steps: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`limits` over a leading runs axis.
+
+        ``pool_used`` is ``(runs, quadrants)``; ``queue_shared_used`` and
+        ``active_steps`` are ``(runs, servers)``; the result is
+        ``(runs, servers)``.  Policies flagged :attr:`batch_limits` are
+        evaluated in one vectorized call; anything else falls back to one
+        :meth:`limits` call per run, which is exactly equivalent.
+        """
+        if self.batch_limits:
+            return self.limits(
+                shared_total, pool_used, quadrant, queue_shared_used, active_steps
+            )
+        return np.stack(
+            [
+                self.limits(
+                    shared_total,
+                    pool_used[run],
+                    quadrant,
+                    queue_shared_used[run],
+                    active_steps[run],
+                )
+                for run in range(pool_used.shape[0])
+            ]
+        )
+
 
 class DynamicThresholdPolicy(SharingPolicy):
     """The deployed baseline: T = alpha * (B - Q)."""
 
     name = "dynamic-threshold"
+    batch_limits = True
 
     def __init__(self, alpha: float = 1.0) -> None:
         if alpha <= 0:
@@ -68,13 +110,14 @@ class DynamicThresholdPolicy(SharingPolicy):
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         free = np.maximum(shared_total - pool_used, 0.0)
-        return self.alpha * free[quadrant]
+        return self.alpha * free[..., quadrant]
 
 
 class StaticPartitionPolicy(SharingPolicy):
     """Hard partitioning: every queue owns an equal slice."""
 
     name = "static-partition"
+    batch_limits = True
 
     def __init__(self, queues_per_quadrant: int) -> None:
         if queues_per_quadrant <= 0:
@@ -83,16 +126,19 @@ class StaticPartitionPolicy(SharingPolicy):
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         slice_bytes = shared_total / self.queues_per_quadrant
-        return np.full(len(quadrant), slice_bytes)
+        shape = np.shape(queue_shared_used)[:-1] + (len(quadrant),)
+        return np.full(shape, slice_bytes)
 
 
 class CompleteSharingPolicy(SharingPolicy):
     """No per-queue limit: admit until the pool is physically full."""
 
     name = "complete-sharing"
+    batch_limits = True
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
-        return np.full(len(quadrant), shared_total)
+        shape = np.shape(queue_shared_used)[:-1] + (len(quadrant),)
+        return np.full(shape, shared_total)
 
 
 class EnhancedDynamicThresholdPolicy(SharingPolicy):
@@ -105,6 +151,7 @@ class EnhancedDynamicThresholdPolicy(SharingPolicy):
     """
 
     name = "enhanced-dt"
+    batch_limits = True
 
     def __init__(self, alpha: float = 1.0, burst_fraction: float = 0.5) -> None:
         if alpha <= 0 or not 0 <= burst_fraction <= 1:
@@ -113,7 +160,7 @@ class EnhancedDynamicThresholdPolicy(SharingPolicy):
         self.burst_fraction = burst_fraction
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
-        free = np.maximum(shared_total - pool_used, 0.0)[quadrant]
+        free = np.maximum(shared_total - pool_used, 0.0)[..., quadrant]
         dt_limit = self.alpha * free
         burst_floor = queue_shared_used + self.burst_fraction * free
         return np.maximum(dt_limit, burst_floor)
@@ -129,6 +176,7 @@ class FlowAwareThresholdPolicy(SharingPolicy):
     """
 
     name = "flow-aware"
+    batch_limits = True
 
     def __init__(
         self,
@@ -145,7 +193,7 @@ class FlowAwareThresholdPolicy(SharingPolicy):
         self.mice_steps = mice_steps
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
-        free = np.maximum(shared_total - pool_used, 0.0)[quadrant]
+        free = np.maximum(shared_total - pool_used, 0.0)[..., quadrant]
         alpha = np.where(
             active_steps <= self.mice_steps, self.mice_alpha, self.elephant_alpha
         )

@@ -7,15 +7,21 @@ stack is agnostic to which substrate generated the data.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from .. import units
 from ..core.run import MillisamplerRun, RunMetadata, SyncRun
 from ..core.sketch import SATURATION_ESTIMATE, SKETCH_BITS
 from ..errors import SimulationError
+from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload
-from .buffermodel import FluidBufferModel
-from .demand import DemandModel
+from .buffermodel import FluidBufferModel, FluidBufferResult
+from .demand import DemandModel, ServerDemand
+
+#: One entry of a synthesis batch: (workload, hour, rng-or-seed-leaf).
+BatchItem = tuple[RackWorkload, int, "np.random.Generator | np.random.SeedSequence"]
 
 
 def sketch_estimates(true_counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -89,19 +95,41 @@ class RackRunSynthesizer:
         line_rate = workload.rack_config.server_link_rate
 
         demand = self.demand_model.generate(workload, hour, buckets, rng)
-        fluid = FluidBufferModel(
-            servers=servers,
-            buffer_config=workload.rack_config.buffer,
-            line_rate=line_rate,
-            step=self.sampling_interval,
-        )
+        fluid = self._fluid_model(workload)
         result = fluid.run(
             demand.demand,
             demand.persistence,
             demand.initial_multiplier,
             demand.initial_alpha,
         )
+        return self._assemble(workload, hour, rng, demand, result, buckets, start_time)
 
+    def _fluid_model(self, workload: RackWorkload) -> FluidBufferModel:
+        return FluidBufferModel(
+            servers=workload.placement.servers,
+            buffer_config=workload.rack_config.buffer,
+            line_rate=workload.rack_config.server_link_rate,
+            step=self.sampling_interval,
+        )
+
+    def _assemble(
+        self,
+        workload: RackWorkload,
+        hour: int,
+        rng: np.random.Generator,
+        demand: ServerDemand,
+        result: FluidBufferResult,
+        buckets: int,
+        start_time: float,
+    ) -> SyncRun:
+        """Turn one run's fluid outputs into a :class:`SyncRun`.
+
+        Consumes this run's remaining RNG draws (sketch noise, egress
+        echo) in the same order as the pre-batch serial path, so batched
+        and serial synthesis are byte-identical per seed leaf.
+        """
+        servers = workload.placement.servers
+        line_rate = workload.rack_config.server_link_rate
         conn = sketch_estimates(demand.connections, rng)
         out_bytes = self.egress_echo * result.delivered * rng.lognormal(
             mean=-0.05, sigma=0.3, size=result.delivered.shape
@@ -144,3 +172,95 @@ class RackRunSynthesizer:
                 "dominant_task": workload.placement.dominant_task(),
             },
         )
+
+    def synthesize_batch(
+        self,
+        items: Sequence[BatchItem],
+        start_time: float = 0.0,
+        metrics: Metrics | None = None,
+    ) -> list[SyncRun]:
+        """Synthesize many rack runs through one batched fluid pass.
+
+        ``items`` is a sequence of ``(workload, hour, rng)`` triples —
+        the same arguments :meth:`synthesize` takes.  Each item keeps
+        its own RNG (normally its ``SeedSequence`` leaf of the dataset's
+        stream tree), and all RNG-consuming stages (run length, demand,
+        sketch noise, egress echo) run per item in the serial order;
+        only the RNG-free fluid step is batched, over groups of items
+        that share a rack profile (server count, link rate, buffer
+        config).  The returned runs are byte-identical to calling
+        :meth:`synthesize` per item.
+
+        ``metrics`` records where synthesis time goes, as
+        ``synthesis/demand``, ``synthesis/fluid`` and
+        ``synthesis/assemble`` timers.
+        """
+        metrics = metrics if metrics is not None else Metrics()
+
+        # Phase 1 — per-run RNG work: run lengths and demand synthesis.
+        prepared = []
+        with metrics.span("synthesis/demand"):
+            for workload, hour, rng in items:
+                if isinstance(rng, np.random.SeedSequence):
+                    rng = np.random.default_rng(rng)
+                if not 0 <= hour < 24:
+                    raise SimulationError("hour must be in [0, 24)")
+                buckets = self._run_length(rng)
+                demand = self.demand_model.generate(workload, hour, buckets, rng)
+                prepared.append((workload, hour, rng, buckets, demand))
+
+        # Phase 2 — one vectorized fluid pass per rack profile.
+        groups: dict[tuple, list[int]] = {}
+        for index, (workload, _, _, _, _) in enumerate(prepared):
+            key = (
+                workload.placement.servers,
+                workload.rack_config.server_link_rate,
+                workload.rack_config.buffer,
+            )
+            groups.setdefault(key, []).append(index)
+
+        fluid_results: list[FluidBufferResult | None] = [None] * len(prepared)
+        with metrics.span("synthesis/fluid"):
+            for member_indices in groups.values():
+                model = self._fluid_model(prepared[member_indices[0]][0])
+                lengths = np.array(
+                    [prepared[i][3] for i in member_indices], dtype=np.int64
+                )
+                max_buckets = int(lengths.max())
+                batch_demand = np.zeros(
+                    (len(member_indices), max_buckets, model.servers)
+                )
+                persistence = np.empty((len(member_indices), model.servers))
+                initial_m = np.empty((len(member_indices), model.servers))
+                initial_alpha = np.empty((len(member_indices), model.servers))
+                for row, i in enumerate(member_indices):
+                    demand = prepared[i][4]
+                    batch_demand[row, : lengths[row]] = demand.demand
+                    persistence[row] = demand.persistence
+                    initial_m[row] = demand.initial_multiplier
+                    initial_alpha[row] = demand.initial_alpha
+                batch = model.run_batch(
+                    batch_demand,
+                    persistence,
+                    initial_m,
+                    initial_alpha,
+                    lengths=lengths,
+                )
+                for row, i in enumerate(member_indices):
+                    fluid_results[i] = batch.per_run(row)
+
+        # Phase 3 — per-run RNG work again: sketch noise, egress echo,
+        # SyncRun assembly (the items' RNGs resume exactly where the
+        # serial path would, because the fluid step drew nothing).
+        out: list[SyncRun] = []
+        with metrics.span("synthesis/assemble"):
+            for (workload, hour, rng, buckets, demand), result in zip(
+                prepared, fluid_results
+            ):
+                out.append(
+                    self._assemble(
+                        workload, hour, rng, demand, result, buckets, start_time
+                    )
+                )
+        metrics.incr("synthesis.batched_runs", len(out))
+        return out

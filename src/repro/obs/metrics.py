@@ -104,6 +104,26 @@ class Metrics:
                 for name, stats in self._timers.items()
             }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used to bring telemetry across process boundaries: dataset
+        workers record stage timers into a local registry and return its
+        snapshot with their results; the parent merges so ``--manifest``
+        sees the whole fleet's cost breakdown.  Counters add; timers
+        combine count/total and keep the larger max.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        with self._lock:
+            for name, data in snapshot.get("timers", {}).items():
+                stats = self._timers.get(name)
+                if stats is None:
+                    stats = self._timers[name] = TimerStats()
+                stats.count += int(data["count"])
+                stats.total_s += float(data["total_s"])
+                stats.max_s = max(stats.max_s, float(data["max_s"]))
+
     # -- export -----------------------------------------------------------
 
     def snapshot(self) -> dict:

@@ -12,7 +12,7 @@ from typing import Protocol
 
 from ..core.millisampler import Direction, Millisampler, PacketObservation
 from .clock import HostClock
-from .packet import Packet
+from .packet import FlowKey, Packet
 
 
 class PacketTap(Protocol):
@@ -56,21 +56,41 @@ class MillisamplerTap:
 
     Timestamps come from the *host clock*, not true time — clock offsets
     are exactly what the Section 4.5 validation is about.
+
+    A trace's packets come from a small working set of flows, so the
+    per-flow values — the 5-tuple key and its RSS CPU — are memoized
+    per :class:`~repro.simnet.packet.FlowKey` (hashable, frozen); the
+    steady-state per-packet cost is one dict probe instead of a tuple
+    build plus hash.  This pairs with the bounded memo inside
+    :func:`repro.core.sketch.hash_flow_key`, which caches the sketch
+    bit for the same tuples.
     """
+
+    #: Flows cached per tap before the memo resets; a host converses
+    #: with far fewer peers than this, so eviction is a non-event.
+    _FLOW_CACHE_LIMIT = 1 << 16
 
     def __init__(self, sampler: Millisampler, clock: HostClock | None = None) -> None:
         self.sampler = sampler
         self.clock = clock or HostClock()
+        self._flow_cache: dict[FlowKey, tuple[tuple, int]] = {}
 
     def on_packet(self, packet: Packet, direction: Direction, now: float) -> None:
         if self.sampler.state.value == "detached":
             return
+        cached = self._flow_cache.get(packet.flow)
+        if cached is None:
+            if len(self._flow_cache) >= self._FLOW_CACHE_LIMIT:
+                self._flow_cache.clear()
+            cached = (packet.flow.as_tuple(), rss_cpu(packet, self.sampler.cpus))
+            self._flow_cache[packet.flow] = cached
+        flow_key, cpu = cached
         observation = PacketObservation(
             time=self.clock.read(now),
             direction=direction,
             size=packet.size,
-            flow_key=packet.flow.as_tuple(),
-            cpu=rss_cpu(packet, self.sampler.cpus),
+            flow_key=flow_key,
+            cpu=cpu,
             ecn_marked=packet.ecn_ce,
             retransmit=packet.retransmit,
         )

@@ -2,16 +2,20 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.sketch import (
     SATURATION_ESTIMATE,
     SKETCH_BITS,
+    SKETCH_WORDS,
     FlowSketch,
     estimate_from_bitmap,
     expected_bits_set,
     hash_flow_key,
+    hash_flow_keys,
+    linear_counting_estimates,
 )
 from repro.errors import SamplerError
 
@@ -151,3 +155,84 @@ class TestOccupancyModel:
             sketch.observe(f"flow-{i}")
         expected = expected_bits_set(n)
         assert abs(sketch.bits_set - expected) < 20
+
+
+class TestBatchHashing:
+    """hash_flow_keys must agree with hash_flow_key bit for bit."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200))
+    @settings(max_examples=100)
+    def test_batch_matches_scalar(self, keys):
+        batch = hash_flow_keys(np.array(keys, dtype=np.uint64))
+        assert batch.tolist() == [hash_flow_key(int(k)) for k in keys]
+
+    def test_signed_dtype_accepted(self):
+        keys = np.array([0, 1, 2**40], dtype=np.int64)
+        assert hash_flow_keys(keys).tolist() == [hash_flow_key(int(k)) for k in keys]
+
+    def test_results_in_range(self):
+        bits = hash_flow_keys(np.arange(10_000, dtype=np.uint64))
+        assert bits.min() >= 0 and bits.max() < SKETCH_BITS
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(SamplerError):
+            hash_flow_keys(np.array([-1], dtype=np.int64))
+
+    def test_non_integer_dtype_rejected(self):
+        with pytest.raises(SamplerError):
+            hash_flow_keys(np.array([1.5]))
+
+    def test_memoized_scalar_path_stays_correct(self):
+        """Repeated lookups (LRU hits) return the same bit as a cold
+        hash, and unhashable-but-reprable keys still fall through."""
+        key = ("10.0.0.1", "10.0.0.2", 443, 55000, "tcp")
+        cold = hash_flow_key(key)
+        assert all(hash_flow_key(key) == cold for _ in range(5))
+        weird = (["not", "hashable"],)
+        assert 0 <= hash_flow_key(weird) < SKETCH_BITS
+        assert hash_flow_key(weird) == hash_flow_key((["not", "hashable"],))
+
+
+class TestWordBacking:
+    """FlowSketch <-> uint64-word conversions used by the array-backed
+    sampler, and the OR-merge regression they replace."""
+
+    @given(st.integers(min_value=0, max_value=(1 << SKETCH_BITS) - 1))
+    @settings(max_examples=100)
+    def test_words_roundtrip(self, bitmap):
+        sketch = FlowSketch(bitmap)
+        words = sketch.as_words()
+        assert words.shape == (SKETCH_WORDS,)
+        assert FlowSketch.from_words(words).bitmap == bitmap
+
+    def test_bad_word_count_rejected(self):
+        with pytest.raises(SamplerError):
+            FlowSketch.from_words(np.zeros(3, dtype=np.uint64))
+
+    def test_array_or_merge_equals_flowsketch_merge(self, rng):
+        """OR-reducing the word arrays across CPUs is exactly
+        FlowSketch.merge folded over the same sketches."""
+        cpus = 6
+        sketches = []
+        words = np.zeros((cpus, SKETCH_WORDS), dtype=np.uint64)
+        for cpu in range(cpus):
+            sketch = FlowSketch()
+            for key in rng.integers(0, 1000, size=40):
+                sketch.observe(int(key))
+            sketches.append(sketch)
+            words[cpu] = sketch.as_words()
+        folded = sketches[0]
+        for other in sketches[1:]:
+            folded = folded.merge(other)
+        merged = FlowSketch.from_words(np.bitwise_or.reduce(words, axis=0))
+        assert merged.bitmap == folded.bitmap
+        assert merged.estimate() == folded.estimate()
+
+    def test_vectorized_estimates_match_scalar(self):
+        """linear_counting_estimates is the single estimator: the scalar
+        FlowSketch.estimate must equal it for every possible zero count."""
+        for bits_set in range(SKETCH_BITS + 1):
+            bitmap = (1 << bits_set) - 1
+            scalar = FlowSketch(bitmap).estimate()
+            vector = float(linear_counting_estimates(SKETCH_BITS - bits_set))
+            assert scalar == vector

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import units
 from repro.errors import SimulationError
@@ -110,6 +111,76 @@ class TestBurstProfile:
         profile = model._burst_profile(volume=10e6, intensity=0.8, overshoot=1.0)
         body = profile[:-1]
         assert np.allclose(body, body[0])
+
+
+def _burst_profile_reference(model, volume, intensity, overshoot):
+    """The historical bucket-by-bucket loop, pinned verbatim so the
+    closed-form replacement is provably bit-identical to it."""
+    body_rate = intensity * model.drain
+    rates = []
+    remaining = volume
+    bucket = 0
+    while remaining > 0:
+        if bucket < model.overshoot_buckets:
+            decay = 0.5**bucket
+            rate = body_rate * (1.0 + (overshoot - 1.0) * decay)
+        else:
+            rate = body_rate
+        take = min(remaining, rate)
+        rates.append(take)
+        remaining -= take
+        bucket += 1
+        if bucket > 10_000:
+            raise SimulationError("burst profile failed to terminate")
+    return np.array(rates)
+
+
+class TestBurstProfileClosedForm:
+    """The vectorized profile must equal the historical loop exactly —
+    same buckets, same floating-point remainders, same failure mode."""
+
+    @given(
+        volume=st.floats(min_value=1.0, max_value=1e9),
+        intensity=st.floats(min_value=0.05, max_value=8.0),
+        overshoot=st.floats(min_value=0.1, max_value=4.0),
+        overshoot_buckets=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=200)
+    def test_matches_reference_loop(self, volume, intensity, overshoot, overshoot_buckets):
+        model = DemandModel(overshoot_buckets=overshoot_buckets)
+        try:
+            expected = _burst_profile_reference(model, volume, intensity, overshoot)
+        except SimulationError:
+            # Profiles needing more than 10,000 buckets fail in both.
+            with pytest.raises(SimulationError):
+                model._burst_profile(volume, intensity, overshoot)
+            return
+        actual = model._burst_profile(volume, intensity, overshoot)
+        assert np.array_equal(actual, expected)
+
+    def test_zero_volume_is_empty(self):
+        model = DemandModel()
+        assert len(model._burst_profile(0.0, 0.8, 1.5)) == 0
+        assert len(_burst_profile_reference(model, 0.0, 0.8, 1.5)) == 0
+
+    def test_exact_multiple_of_rate(self):
+        """Volume landing exactly on a bucket boundary (no fractional
+        remainder) keeps the same bucket count as the loop."""
+        model = DemandModel(overshoot_buckets=1)
+        rate = 0.5 * model.drain
+        expected = _burst_profile_reference(model, 7 * rate, 0.5, 1.0)
+        actual = model._burst_profile(7 * rate, 0.5, 1.0)
+        assert np.array_equal(actual, expected)
+
+    def test_nonterminating_profile_raises_like_loop(self):
+        """A volume the body rate cannot drain in 10,000 buckets raises
+        in both implementations."""
+        model = DemandModel()
+        tiny = 1e-12 * model.drain
+        with pytest.raises(SimulationError):
+            _burst_profile_reference(model, model.drain, tiny, 1.0)
+        with pytest.raises(SimulationError):
+            model._burst_profile(model.drain, tiny, 1.0)
 
 
 class TestSerialization:

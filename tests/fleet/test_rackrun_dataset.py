@@ -137,3 +137,77 @@ class TestDatasetGeneration:
             REGION_A, config, progress=lambda done, total: calls.append((done, total))
         )
         assert calls[-1] == (4, 4)
+
+
+def assert_sync_runs_equal(a: SyncRun, b: SyncRun):
+    assert a.rack == b.rack and a.region == b.region and a.hour == b.hour
+    assert len(a.runs) == len(b.runs)
+    for run_a, run_b in zip(a.runs, b.runs):
+        assert run_a.meta == run_b.meta
+        for field in (
+            "in_bytes",
+            "out_bytes",
+            "in_retx_bytes",
+            "out_retx_bytes",
+            "in_ecn_bytes",
+            "conn_estimate",
+        ):
+            assert np.array_equal(getattr(run_a, field), getattr(run_b, field)), field
+
+
+class TestBatchSynthesis:
+    """synthesize_batch must be byte-identical to per-item synthesize."""
+
+    def test_batch_matches_per_item(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=3, rng=rng)
+        synthesizer = RackRunSynthesizer()
+        items = []
+        for index, workload in enumerate(workloads):
+            for hour in (2, 14):
+                items.append((workload, hour, np.random.SeedSequence([index, hour])))
+        batched = synthesizer.synthesize_batch(items)
+        assert len(batched) == len(items)
+        for (workload, hour, _), got in zip(items, batched):
+            seed = np.random.SeedSequence(
+                [workloads.index(workload), hour]
+            )
+            expected = synthesizer.synthesize(workload, hour, seed)
+            assert_sync_runs_equal(expected, got)
+
+    def test_batch_records_stage_timers(self, rng):
+        from repro.obs.metrics import Metrics
+
+        workloads = build_region_workloads(REGION_A, racks=1, rng=rng)
+        metrics = Metrics()
+        RackRunSynthesizer().synthesize_batch(
+            [(workloads[0], 6, np.random.SeedSequence(3))], metrics=metrics
+        )
+        timers = metrics.snapshot()["timers"]
+        for stage in ("synthesis/demand", "synthesis/fluid", "synthesis/assemble"):
+            assert stage in timers and timers[stage]["count"] >= 1
+
+    def test_fluid_batch_size_does_not_change_dataset(self):
+        """The batch size is an execution knob: any value produces the
+        same region-day, byte for byte."""
+        datasets = []
+        for fluid_batch in (1, 3, 16):
+            config = FleetConfig(
+                racks_per_region=2, runs_per_rack=3, seed=7, fluid_batch=fluid_batch
+            )
+            datasets.append(generate_region_dataset(REGION_A, config))
+        for other in datasets[1:]:
+            for a, b in zip(datasets[0].summaries, other.summaries):
+                assert a.rack == b.rack and a.hour == b.hour
+                assert a.contention.mean == b.contention.mean
+                assert a.total_in_bytes == b.total_in_bytes
+
+    def test_invalid_fluid_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(fluid_batch=0)
+
+    def test_batch_rejects_bad_hour(self, rng):
+        workloads = build_region_workloads(REGION_A, racks=1, rng=rng)
+        with pytest.raises(SimulationError):
+            RackRunSynthesizer().synthesize_batch(
+                [(workloads[0], 99, np.random.SeedSequence(0))]
+            )

@@ -184,3 +184,94 @@ def test_bench_packet_sim_tcp_transfer(benchmark):
 
     sender = benchmark.pedantic(run, rounds=5, iterations=1)
     assert sender.done
+
+
+def test_bench_shard_generation(benchmark, tmp_path):
+    """Generating and writing one shard of the out-of-core region store
+    (synthesis + columnar projection + atomic writes + hashing) — the
+    unit of work a store-build worker executes.  The per-shard run
+    throughput in extra_info is what the CI gate tracks."""
+    from repro.fleet.shards import _write_shard, plan_region_shards, synthesize_shard
+    from repro.obs.metrics import Metrics
+
+    config = FleetConfig(racks_per_region=4, runs_per_rack=3, seed=7)
+    _plans, tasks = plan_region_shards(REGION_A, config, shard_racks=4, shard_hours=24)
+    (task,) = tasks
+    synthesizer = RackRunSynthesizer()
+
+    def run():
+        metrics = Metrics()
+        summaries = synthesize_shard(task, config, synthesizer, metrics=metrics)
+        return _write_shard(str(tmp_path), task, summaries, metrics)
+
+    record = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert record["runs"] == task.total_runs == 12
+    benchmark.extra_info["runs_per_shard"] = record["runs"]
+    benchmark.extra_info["runs_per_s"] = record["runs"] / benchmark.stats.stats.mean
+
+
+def test_bench_streaming_merge(benchmark):
+    """Merging shard-level streaming partials into figure aggregates
+    (Table 1 + rack profiles + run contention) — the reduce side of the
+    out-of-core pipeline, pure numpy over columnar blocks."""
+    from repro.analysis.streaming import (
+        RackProfileAccumulator,
+        RunContentionAccumulator,
+        Table1Accumulator,
+    )
+
+    rng = np.random.default_rng(3)
+    shards = 16
+    runs_per_shard = 512
+    blocks = []
+    for shard in range(shards):
+        racks = np.array(
+            [f"RegA-rack{index:04d}" for index in rng.integers(0, 200, runs_per_shard)]
+        )
+        blocks.append(
+            {
+                "racks": racks,
+                "hours": rng.integers(0, 24, runs_per_shard),
+                "servers": rng.integers(60, 92, runs_per_shard),
+                "bursty": rng.integers(0, 40, runs_per_shard),
+                "n_bursts": rng.integers(0, 300, runs_per_shard),
+                "mean": rng.exponential(1.0, runs_per_shard),
+                "discard": rng.exponential(1e6, runs_per_shard),
+                "ingress": rng.exponential(1e9, runs_per_shard),
+                "tasks": rng.integers(1, 6, runs_per_shard),
+                "share": rng.uniform(0.3, 1.0, runs_per_shard),
+                "coloc": rng.random(runs_per_shard) < 0.5,
+                "min_active": rng.exponential(1.0, runs_per_shard),
+                "p90": rng.exponential(2.0, runs_per_shard),
+            }
+        )
+
+    def run():
+        table1 = Table1Accumulator("RegA")
+        profiles = RackProfileAccumulator()
+        contention = RunContentionAccumulator()
+        for block in blocks:
+            t_part = Table1Accumulator("RegA")
+            t_part.add_columns(
+                block["racks"], block["servers"], block["bursty"], block["n_bursts"]
+            )
+            table1.merge(t_part)
+            p_part = RackProfileAccumulator()
+            p_part.add_columns(
+                "RegA", block["racks"], block["hours"], block["mean"],
+                block["discard"], block["ingress"], block["tasks"],
+                block["share"], block["coloc"],
+            )
+            profiles.merge(p_part)
+            c_part = RunContentionAccumulator()
+            c_part.add_columns(
+                block["racks"], block["hours"], block["min_active"], block["p90"]
+            )
+            contention.merge(c_part)
+        return table1.finalize(), profiles.finalize(), contention.finalize()
+
+    row, rack_list, view = benchmark(run)
+    assert row.runs == shards * runs_per_shard
+    assert view.total == shards * runs_per_shard
+    assert len(rack_list) == 200
+    benchmark.extra_info["rows_per_s"] = row.runs / benchmark.stats.stats.mean

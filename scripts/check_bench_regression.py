@@ -43,6 +43,15 @@ def main() -> int:
         default=5.0,
         help="fail when current mean exceeds baseline mean by this factor",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="benchmark that must be present in the current run; its "
+             "absence is fatal instead of a MISSING note (use for gated "
+             "substrates like per-shard generation throughput)",
+    )
     args = parser.parse_args()
 
     baseline = load_means(args.baseline)
@@ -53,6 +62,15 @@ def main() -> int:
     if not current:
         print(f"no benchmarks in current run {args.current}", file=sys.stderr)
         return 2
+
+    missing_required = [name for name in args.require if name not in current]
+    if missing_required:
+        print(
+            f"required benchmark(s) absent from current run: "
+            f"{', '.join(missing_required)}",
+            file=sys.stderr,
+        )
+        return 1
 
     failures = []
     for name in sorted(baseline.keys() | current.keys()):

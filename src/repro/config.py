@@ -118,6 +118,10 @@ class FleetConfig:
     defaults here are laptop-scale; experiments scale them up or down
     explicitly.  ``runs_per_rack`` corresponds to the ~10 runs each rack
     contributes across the day.
+
+    Zero racks or zero runs per rack are valid degenerate scales: they
+    describe an *empty* region-day, and every generation path (serial,
+    parallel, sharded) returns the same empty dataset for them.
     """
 
     racks_per_region: int = 200
@@ -141,10 +145,10 @@ class FleetConfig:
     fluid_batch: int = 16
 
     def __post_init__(self) -> None:
-        if self.racks_per_region <= 0:
-            raise ConfigError("region must contain racks")
-        if self.runs_per_rack <= 0:
-            raise ConfigError("need at least one run per rack")
+        if self.racks_per_region < 0:
+            raise ConfigError("region rack count cannot be negative")
+        if self.runs_per_rack < 0:
+            raise ConfigError("runs per rack cannot be negative")
         if not 1 <= self.hours <= 24:
             raise ConfigError("hours must be within a day")
         if self.jobs < 0:

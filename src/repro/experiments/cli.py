@@ -130,6 +130,21 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="always regenerate datasets; neither read nor write the cache",
     )
+    parser.add_argument(
+        "--store-dir", type=str, default=None, metavar="DIR",
+        help="root of the sharded out-of-core region store; when set, "
+             "region-days are generated, cached, and aggregated shard by "
+             "shard (peak memory = one shard) and the monolithic pickle "
+             "cache is bypassed",
+    )
+    parser.add_argument(
+        "--shard-racks", type=int, default=None, metavar="N",
+        help="racks per shard for --store-dir (default 64)",
+    )
+    parser.add_argument(
+        "--shard-hours", type=int, default=None, metavar="N",
+        help="hours per shard for --store-dir (default 12)",
+    )
 
 
 def _cache_dir(args) -> str | None:
@@ -218,6 +233,9 @@ def _analyze(args) -> int:
 
 def _context(args, verbose: bool = False) -> ExperimentContext:
     """Build the shared context from `run`/`report` CLI arguments."""
+    from ..fleet.shards import DEFAULT_SHARD_HOURS, DEFAULT_SHARD_RACKS
+
+    store_dir = getattr(args, "store_dir", None)
     return ExperimentContext(
         fleet=FleetConfig(
             racks_per_region=args.racks,
@@ -226,6 +244,9 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
             jobs=args.jobs,
         ),
         cache_dir=_cache_dir(args),
+        store_dir=store_dir,
+        shard_racks=getattr(args, "shard_racks", None) or DEFAULT_SHARD_RACKS,
+        shard_hours=getattr(args, "shard_hours", None) or DEFAULT_SHARD_HOURS,
         verbose=verbose,
         audit=getattr(args, "audit", False),
     )
@@ -242,6 +263,9 @@ def _finish_orchestrated(args, ctx, orchestration) -> int:
             telemetry=ctx.metrics.snapshot(),
             cache_dir=ctx.cache_dir,
             exp_jobs=args.exp_jobs,
+            store_dir=ctx.store_dir,
+            shard_racks=ctx.shard_racks if ctx.store_dir else None,
+            shard_hours=ctx.shard_hours if ctx.store_dir else None,
         )
         print(f"wrote manifest {write_manifest(manifest, args.manifest)}")
     if args.profile:

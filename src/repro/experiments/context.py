@@ -12,6 +12,7 @@ import threading
 from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 
+from ..analysis.diurnal import hourly_box_stats
 from ..analysis.racks import (
     DEFAULT_CONTENTION_SPLIT,
     RackClass,
@@ -19,11 +20,24 @@ from ..analysis.racks import (
     classify_racks,
     rack_profiles,
 )
+from ..analysis.stats import BoxStats
+from ..analysis.streaming import (
+    BurstContentionView,
+    RunContentionView,
+    burst_contention_from_summaries,
+    run_contention_from_summaries,
+)
 from ..analysis.summary import RunSummary
 from ..config import FleetConfig
 from ..errors import ConfigError
 from ..fleet.cache import DatasetCache
-from ..fleet.dataset import RegionDataset, generate_region_dataset
+from ..fleet.dataset import DatasetSummary, RegionDataset, generate_region_dataset
+from ..fleet.shards import (
+    DEFAULT_SHARD_HOURS,
+    DEFAULT_SHARD_RACKS,
+    ShardedRegionDataset,
+    generate_region_shards,
+)
 from ..obs.metrics import Metrics
 from ..simnet.audit import InvariantAuditor, audited
 from ..workload.region import REGION_A, REGION_B, RegionSpec
@@ -43,6 +57,14 @@ class ExperimentContext:
     verbose: bool = False
     #: Directory for the on-disk dataset cache; None disables caching.
     cache_dir: str | None = None
+    #: Root of the sharded out-of-core region store (see
+    #: :mod:`repro.fleet.shards`).  When set, region-days are generated,
+    #: cached, and aggregated shard-by-shard — peak memory is one shard —
+    #: and :attr:`cache_dir` (the monolithic pickle cache) is ignored.
+    store_dir: str | None = None
+    #: Shard geometry: racks per shard x hours per shard.
+    shard_racks: int = DEFAULT_SHARD_RACKS
+    shard_hours: int = DEFAULT_SHARD_HOURS
     #: Telemetry registry shared by dataset generation, the cache, and
     #: every experiment run against this context (see repro.obs).
     metrics: Metrics = field(default_factory=Metrics, repr=False, compare=False)
@@ -52,7 +74,9 @@ class ExperimentContext:
     #: land on :attr:`metrics` (hence in ``--manifest`` telemetry).
     audit: bool = False
     auditor: InvariantAuditor | None = field(default=None, repr=False, compare=False)
-    _datasets: dict[str, RegionDataset] = field(default_factory=dict, repr=False)
+    _datasets: dict[str, RegionDataset | ShardedRegionDataset] = field(
+        default_factory=dict, repr=False
+    )
     #: Serializes lazy dataset construction so parallel experiments
     #: never generate the same region twice.
     _dataset_lock: threading.Lock = field(
@@ -91,31 +115,50 @@ class ExperimentContext:
             return REGION_B
         raise ConfigError(f"unknown region {region!r}")
 
-    def dataset(self, region: str) -> RegionDataset:
-        """The region-day dataset, generated (or cache-loaded) on first use."""
+    def dataset(self, region: str) -> RegionDataset | ShardedRegionDataset:
+        """The region-day dataset, generated (or cache-loaded) on first use.
+
+        With :attr:`store_dir` set this is a lazy
+        :class:`~repro.fleet.shards.ShardedRegionDataset` (built shard by
+        shard, loaded via memmap); otherwise the legacy in-memory
+        :class:`RegionDataset` behind the monolithic pickle cache.  Both
+        expose ``region``/``summaries``/``workloads``/``table1_row``.
+        """
         with self._dataset_lock:
             if region not in self._datasets:
                 spec = self._spec(region)
-                cache = (
-                    DatasetCache(self.cache_dir, metrics=self.metrics)
-                    if self.cache_dir
-                    else None
-                )
+                progress = None
+                if self.verbose:
+                    def progress(done: int, total: int, _region: str = region) -> None:
+                        if done % 200 == 0 or done == total:
+                            print(f"  [{_region}] {done}/{total} rack runs")
                 with self.metrics.span(f"dataset/{region}"):
-                    dataset = cache.load(spec, self.fleet) if cache is not None else None
-                    if dataset is None:
-                        progress = None
-                        if self.verbose:
-                            def progress(done: int, total: int, _region: str = region) -> None:
-                                if done % 200 == 0 or done == total:
-                                    print(f"  [{_region}] {done}/{total} rack runs")
-                        dataset = generate_region_dataset(
-                            spec, self.fleet, progress=progress, metrics=self.metrics
+                    if self.store_dir:
+                        dataset = generate_region_shards(
+                            spec,
+                            self.fleet,
+                            self.store_dir,
+                            shard_racks=self.shard_racks,
+                            shard_hours=self.shard_hours,
+                            jobs=self.fleet.jobs,
+                            metrics=self.metrics,
+                            progress=progress,
                         )
-                        if cache is not None:
-                            cache.store(spec, self.fleet, dataset)
-                    elif self.verbose:
-                        print(f"  [{region}] dataset loaded from cache")
+                    else:
+                        cache = (
+                            DatasetCache(self.cache_dir, metrics=self.metrics)
+                            if self.cache_dir
+                            else None
+                        )
+                        dataset = cache.load(spec, self.fleet) if cache is not None else None
+                        if dataset is None:
+                            dataset = generate_region_dataset(
+                                spec, self.fleet, progress=progress, metrics=self.metrics
+                            )
+                            if cache is not None:
+                                cache.store(spec, self.fleet, dataset)
+                        elif self.verbose:
+                            print(f"  [{region}] dataset loaded from cache")
                 self._datasets[region] = dataset
         return self._datasets[region]
 
@@ -129,16 +172,60 @@ class ExperimentContext:
         window around the busy hour (each rack is sampled ~10 of 24
         hours, so a single hour would cover less than half the racks —
         the window keeps the rack sample representative)."""
-        summaries = self.summaries(region)
+        dataset = self.dataset(region)
         hours: set[int] | None = None
         if busy_hour_only:
             hours = {self.busy_hour - 1, self.busy_hour, self.busy_hour + 1}
-            covered = {s.hour for s in summaries}
-            if not hours & covered:
+            counts = self.hour_counts(region)
+            if not hours & set(counts):
                 # Tiny test datasets may miss the window entirely; fall
                 # back to the fullest hour.
-                hours = {max(covered, key=lambda h: sum(1 for s in summaries if s.hour == h))}
-        return rack_profiles(summaries, hours=hours)
+                hours = {max(set(counts), key=lambda h: counts[h])}
+        if isinstance(dataset, ShardedRegionDataset):
+            return dataset.rack_profiles(hours=hours)
+        return rack_profiles(dataset.summaries, hours=hours)
+
+    def hour_counts(self, region: str) -> dict[int, int]:
+        """Runs per hour, computed without materializing a sharded set."""
+        dataset = self.dataset(region)
+        if isinstance(dataset, ShardedRegionDataset):
+            return dataset.hour_counts()
+        counts: dict[int, int] = {}
+        for summary in dataset.summaries:
+            counts[summary.hour] = counts.get(summary.hour, 0) + 1
+        return counts
+
+    # -- streaming-or-oracle aggregations ---------------------------------
+    #
+    # Each method computes through the shard store's mergeable partials
+    # when the context is backed by one, and through the in-memory
+    # oracle otherwise; the two are bit-identical by construction (and
+    # by test), so experiments call these without caring which path ran.
+
+    def table1_row(self, region: str) -> DatasetSummary:
+        """Table 1's row for one region (streaming under a shard store)."""
+        return self.dataset(region).table1_row()
+
+    def hourly_boxes(self, region: str, racks: set[str] | None = None) -> dict[int, BoxStats]:
+        """Figure 13's hourly contention boxes, optionally rack-filtered."""
+        dataset = self.dataset(region)
+        if isinstance(dataset, ShardedRegionDataset):
+            return dataset.hourly_boxes(racks=racks)
+        return hourly_box_stats(dataset.summaries, racks=racks)
+
+    def run_contention(self, region: str) -> RunContentionView:
+        """Figure 15's per-run (min-active, p90) contention arrays."""
+        dataset = self.dataset(region)
+        if isinstance(dataset, ShardedRegionDataset):
+            return dataset.run_contention()
+        return run_contention_from_summaries(dataset.summaries)
+
+    def burst_contention(self, region: str) -> BurstContentionView:
+        """Figure 16's per-burst contention/loss annotations."""
+        dataset = self.dataset(region)
+        if isinstance(dataset, ShardedRegionDataset):
+            return dataset.burst_contention()
+        return burst_contention_from_summaries(dataset.summaries)
 
     def rega_classes(self) -> dict[RackClass, list[RackProfile]]:
         """The RegA-Typical / RegA-High split (whole-day contention)."""
@@ -147,10 +234,19 @@ class ExperimentContext:
     def rega_high_racks(self) -> set[str]:
         return {profile.rack for profile in self.rega_classes()[RackClass.HIGH]}
 
-    def class_of_run(self, summary: RunSummary) -> str:
-        """'RegA-Typical' / 'RegA-High' / 'RegB' for a run summary."""
-        if summary.region == "RegB":
+    def class_of_rack(self, region: str, rack: str) -> str:
+        """'RegA-Typical' / 'RegA-High' / 'RegB' for a rack name.
+
+        Callers classifying many runs/bursts should hoist
+        :meth:`rega_high_racks` and test membership directly — this
+        recomputes the split each call.
+        """
+        if region == "RegB":
             return "RegB"
-        if summary.rack in self.rega_high_racks():
+        if rack in self.rega_high_racks():
             return RackClass.HIGH.value
         return RackClass.TYPICAL.value
+
+    def class_of_run(self, summary: RunSummary) -> str:
+        """'RegA-Typical' / 'RegA-High' / 'RegB' for a run summary."""
+        return self.class_of_rack(summary.region, summary.rack)

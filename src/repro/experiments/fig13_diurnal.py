@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.diurnal import hourly_box_stats, hourly_means, peak_window_increase
+from ..analysis.diurnal import peak_window_increase
 from ..viz.ascii import ascii_boxplot
 from ..viz.series import Series
 from ..viz.table import render_table
@@ -32,14 +32,13 @@ def _box_table(title: str, boxes) -> str:
 def run(ctx: ExperimentContext) -> ExperimentResult:
     """Regenerate this artifact (see module docstring)."""
     high_racks = ctx.rega_high_racks()
-    rega = ctx.summaries("RegA")
-    regb = ctx.summaries("RegB")
 
-    boxes_high = hourly_box_stats(rega, racks=high_racks)
-    boxes_regb = hourly_box_stats(regb)
+    # Streaming under a shard store, in-memory otherwise — bit-identical.
+    boxes_high = ctx.hourly_boxes("RegA", racks=high_racks)
+    boxes_regb = ctx.hourly_boxes("RegB")
 
-    means_high = hourly_means(rega, racks=high_racks)
-    means_regb = hourly_means(regb)
+    means_high = {hour: stats.mean for hour, stats in boxes_high.items()}
+    means_regb = {hour: stats.mean for hour, stats in boxes_regb.items()}
 
     series = [
         Series(

@@ -20,12 +20,13 @@ from .context import ExperimentContext
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
     """Regenerate this artifact (see module docstring)."""
-    summaries = ctx.summaries("RegA")
-    excluded = sum(1 for s in summaries if not s.contention.has_activity)
-    active = [s for s in summaries if s.contention.has_activity]
+    # Per-run contention in global run order — streamed shard-by-shard
+    # under a shard store, from the summary list otherwise.
+    view = ctx.run_contention("RegA")
+    excluded = view.excluded
 
-    mins = np.array([s.contention.min_active for s in active])
-    p90s = np.array([s.contention.p90 for s in active])
+    mins = view.mins
+    p90s = view.p90s
     # The p90 is taken over *all* samples (zeros included) with linear
     # interpolation, so on a mostly-idle run it can land fractionally
     # below the minimum over active samples; the buffer-share drop of
@@ -49,7 +50,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         Series("share-at-p90", run_ids, share_p90),
     ]
     metrics = {
-        "excluded_fraction": excluded / len(summaries) if summaries else 0.0,
+        "excluded_fraction": excluded / view.total if view.total else 0.0,
         "median_share_drop": float(np.median(drops)),
         "frac_drop_ge_70pct": float((drops >= 0.70).mean()),
         "median_min_contention": float(np.median(mins)),

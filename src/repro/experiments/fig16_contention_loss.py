@@ -25,13 +25,23 @@ def loss_by_contention(ctx: ExperimentContext) -> dict[str, dict[int, tuple[int,
     counts: dict[str, dict[int, list[int]]] = {
         name: defaultdict(lambda: [0, 0]) for name in CLASSES
     }
+    high_racks = ctx.rega_high_racks()
     for region in ("RegA", "RegB"):
-        for summary in ctx.summaries(region):
-            burst_class = ctx.class_of_run(summary)
-            for burst in summary.bursts:
-                entry = counts[burst_class][burst.max_contention]
-                entry[0] += 1
-                entry[1] += int(burst.lossy)
+        # Per-burst annotations streamed shard-by-shard under a shard
+        # store; only integer counts accumulate here.
+        view = ctx.burst_contention(region)
+        for rack, level, lossy in zip(
+            view.racks.tolist(), view.max_contention.tolist(), view.lossy.tolist()
+        ):
+            if region == "RegB":
+                burst_class = "RegB"
+            elif rack in high_racks:
+                burst_class = "RegA-High"
+            else:
+                burst_class = "RegA-Typical"
+            entry = counts[burst_class][level]
+            entry[0] += 1
+            entry[1] += int(lossy)
     return {
         name: {level: (v[0], v[1]) for level, v in buckets.items()}
         for name, buckets in counts.items()
@@ -70,11 +80,10 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     max_levels = []
     first_loss_levels = []
     for region in ("RegA", "RegB"):
-        for summary in ctx.summaries(region):
-            for burst in summary.bursts:
-                if burst.lossy and burst.first_loss_contention >= 0:
-                    max_levels.append(burst.max_contention)
-                    first_loss_levels.append(burst.first_loss_contention)
+        view = ctx.burst_contention(region)
+        mask = view.lossy & (view.first_loss_contention >= 0)
+        max_levels.extend(view.max_contention[mask].tolist())
+        first_loss_levels.extend(view.first_loss_contention[mask].tolist())
     if max_levels:
         metrics["mean_max_contention_lossy"] = float(np.mean(max_levels))
         metrics["mean_first_loss_contention"] = float(np.mean(first_loss_levels))

@@ -151,6 +151,12 @@ def _run_one(
             result = get_experiment(experiment_id)(ctx)
     except Exception as exc:
         if reraise:
+            # The normal epilogue below never runs on this path, so the
+            # process-wide tracer must be released here or it stays on
+            # for the rest of the process (skewing every later
+            # tracemalloc user).
+            if started_tracing:
+                tracemalloc.stop()
             raise
         error = f"{type(exc).__name__}: {exc}"
     wall_time = time.perf_counter() - started

@@ -23,7 +23,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     rows = []
     metrics = {}
     for region in ("RegA", "RegB"):
-        summary = ctx.dataset(region).table1_row()
+        summary = ctx.table1_row(region)
         paper = PAPER_ROWS[region]
         rows.append(
             [

@@ -27,9 +27,11 @@ import dataclasses
 import hashlib
 import json
 import logging
+import math
 import os
 import pickle
 import tempfile
+import time
 
 from ..config import FleetConfig
 from ..obs.metrics import Metrics
@@ -69,9 +71,19 @@ def _canonical(value):
             },
         }
     if isinstance(value, dict):
-        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+        # Sort by the *stringified* key: mixed-type keys (e.g. int and
+        # str in one dict) are unorderable and would make plain
+        # sorted(value.items()) raise TypeError.
+        return {
+            str(key): _canonical(item)
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        # NaN/inf are not valid JSON; project them to stable tokens so
+        # the key payload stays portable across serializers.
+        return f"__float__:{value!r}"
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if hasattr(value, "__dict__"):
@@ -82,6 +94,21 @@ def _canonical(value):
     return repr(value)
 
 
+#: Every :class:`FleetConfig` field must appear in exactly one of these
+#: two sets.  ``KEY_BEARING_FIELDS`` shape the generated data and feed
+#: the content hash; ``EXECUTION_ONLY_FIELDS`` change only how a dataset
+#: is computed (fan-out, batching) and are deliberately excluded.  A
+#: test asserts the classification is exhaustive, so a future
+#: dataset-shaping field cannot silently alias cached datasets.
+KEY_BEARING_FIELDS: tuple[str, ...] = (
+    "racks_per_region",
+    "runs_per_rack",
+    "hours",
+    "seed",
+)
+EXECUTION_ONLY_FIELDS: tuple[str, ...] = ("jobs", "fluid_batch")
+
+
 def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
     """Content hash of everything that determines a region-day's data."""
     payload = {
@@ -90,14 +117,11 @@ def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
         # Explicit field list rather than asdict(config): jobs (and any
         # future execution-only knob) must not change the key.
         "fleet": {
-            "racks_per_region": config.racks_per_region,
-            "runs_per_rack": config.runs_per_rack,
-            "hours": config.hours,
-            "seed": config.seed,
+            name: _canonical(getattr(config, name)) for name in KEY_BEARING_FIELDS
         },
     }
     digest = hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode("utf-8")
+        json.dumps(payload, sort_keys=True, allow_nan=False).encode("utf-8")
     ).hexdigest()
     return digest
 
@@ -107,6 +131,47 @@ def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
 HIT_COUNTER = "dataset.cache.hit"
 MISS_COUNTER = "dataset.cache.miss"
 STORE_COUNTER = "dataset.cache.store"
+SWEEP_COUNTER = "dataset.cache.swept_tmp"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` file is presumed dead.
+#: Writers hold a temp file only for the duration of one pickle dump, so
+#: anything this old belongs to a crashed/killed writer, not a live one.
+STALE_TMP_AGE_S = 15 * 60
+
+
+def sweep_stale_tmp_files(
+    directory: str,
+    max_age_s: float = STALE_TMP_AGE_S,
+    metrics: Metrics | None = None,
+) -> int:
+    """Delete orphaned ``*.tmp`` entries older than ``max_age_s``.
+
+    A writer killed between ``mkstemp`` and ``os.replace`` leaves its
+    temp file behind; without a sweep those accumulate forever.  Only
+    files old enough that no live writer can still own them are removed,
+    and every OS race (a concurrent writer finishing, another sweeper
+    winning) is ignored.
+    """
+    swept = 0
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age_s
+    for name in entries:
+        if not name.endswith(".tmp"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.path.getmtime(path) >= cutoff:
+                continue
+            os.unlink(path)
+            swept += 1
+        except OSError:
+            continue
+    if swept and metrics is not None:
+        metrics.incr(SWEEP_COUNTER, swept)
+    return swept
 
 
 class DatasetCache:
@@ -151,6 +216,7 @@ class DatasetCache:
     def store(self, spec: RegionSpec, config: FleetConfig, dataset: RegionDataset) -> str:
         """Atomically write (or overwrite) the entry for this config."""
         os.makedirs(self.directory, exist_ok=True)
+        sweep_stale_tmp_files(self.directory, metrics=self.metrics)
         path = self.path_for(spec, config)
         payload = {"format": DATASET_FORMAT_VERSION, "dataset": dataset}
         handle, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")

@@ -264,10 +264,22 @@ def iter_region_summaries(
     fluid batches of ``config.fluid_batch`` and reduced immediately, so
     peak memory is one batch of raw runs regardless of region scale.
     """
+    plans = plan_region(spec, config)
+    yield from iter_plan_summaries(plans, config, synthesizer, progress, metrics)
+
+
+def iter_plan_summaries(
+    plans: list[RackRunPlan],
+    config: FleetConfig,
+    synthesizer: RackRunSynthesizer | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    metrics: Metrics | None = None,
+) -> Iterator[tuple[RunSummary, RackWorkload]]:
+    """:func:`iter_region_summaries` over an explicit plan list (the
+    shard store synthesizes hour-band slices of a region plan)."""
     synthesizer = synthesizer or RackRunSynthesizer()
     metrics = metrics if metrics is not None else Metrics()
-    plans = plan_region(spec, config)
-    total = len(plans) * config.runs_per_rack
+    total = sum(len(plan.hours) for plan in plans)
     done = 0
     buffer: list[BatchItem] = []
     for plan in plans:
@@ -317,16 +329,22 @@ def generate_region_dataset(
         )
 
     summaries: list[RunSummary] = []
-    workloads: dict[str, RackWorkload] = {}
+    plans = plan_region(spec, config)
     with metrics.span(f"generate/{spec.name}"):
-        for summary, workload in iter_region_summaries(
-            spec, config, synthesizer, progress, metrics=metrics
+        for summary, _workload in iter_plan_summaries(
+            plans, config, synthesizer, progress, metrics=metrics
         ):
             summaries.append(summary)
-            workloads[workload.rack] = workload
     metrics.incr("dataset.generated_runs", len(summaries))
+    # One workloads rule for every path (serial, parallel, sharded):
+    # every *planned* rack contributes its workload in rack order, even
+    # racks that scheduled zero runs.  Collecting workloads from yielded
+    # summaries instead would silently drop zero-run racks and disagree
+    # with the parallel path.
     return RegionDataset(
-        region=spec.name, summaries=summaries, workloads=list(workloads.values())
+        region=spec.name,
+        summaries=summaries,
+        workloads=[plan.workload for plan in plans],
     )
 
 

@@ -70,7 +70,13 @@ def generate_region_dataset_parallel(
     jobs = resolve_jobs(jobs)
     metrics = metrics if metrics is not None else Metrics()
     plans = plan_region(spec, config)
-    total = len(plans) * config.runs_per_rack
+    if not plans:
+        # A region that plans zero racks is a valid degenerate scale;
+        # ProcessPoolExecutor(max_workers=0) would raise, so short-circuit
+        # to the same empty dataset the serial path returns.
+        metrics.incr("dataset.generated_runs", 0)
+        return RegionDataset(region=spec.name, summaries=[], workloads=[])
+    total = sum(len(plan.hours) for plan in plans)
     per_rack: list[list[RunSummary] | None] = [None] * len(plans)
     done = 0
     # Keep the in-flight queue shallow so a huge region never has every

@@ -71,6 +71,11 @@ _CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
     "seed": (int,),
     "jobs": (int,),
     "cache_dir": (str, type(None)),
+    # Sharded-store runs record where and how the dataset was sharded;
+    # legacy in-memory runs leave all three None/absent.
+    "store_dir": (str, type(None)),
+    "shard_racks": (int, type(None)),
+    "shard_hours": (int, type(None)),
 }
 
 
@@ -90,6 +95,9 @@ def build_manifest(
     telemetry: dict | None = None,
     cache_dir: str | None = None,
     exp_jobs: int = 1,
+    store_dir: str | None = None,
+    shard_racks: int | None = None,
+    shard_hours: int | None = None,
 ) -> dict:
     """Assemble a schema-valid manifest dict.
 
@@ -109,6 +117,9 @@ def build_manifest(
             "seed": fleet_config.seed,
             "jobs": fleet_config.jobs,
             "cache_dir": cache_dir,
+            "store_dir": store_dir,
+            "shard_racks": shard_racks,
+            "shard_hours": shard_hours,
         },
         "exp_jobs": exp_jobs,
         "status": "failed" if failed else "ok",

@@ -110,8 +110,8 @@ def build_region_workloads(
     rack, persistent across the day — which is what makes Figure 12's
     persistence finding possible).
     """
-    if racks <= 0:
-        raise ConfigError("region must have at least one rack")
+    if racks < 0:
+        raise ConfigError("rack count cannot be negative")
     servers = servers_per_rack or spec.rack_config.servers
     colocated_count = int(round(spec.colocated_fraction * racks))
     colocated_ids = set(rng.choice(racks, size=colocated_count, replace=False).tolist())

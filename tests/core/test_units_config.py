@@ -116,7 +116,13 @@ class TestOtherConfigs:
             SamplerConfig(sampling_interval=0)
 
     def test_fleet_validation(self):
+        # Zero racks/runs are valid degenerate scales (an empty
+        # region-day); only negatives are rejected.
+        assert FleetConfig(racks_per_region=0).racks_per_region == 0
+        assert FleetConfig(runs_per_rack=0).runs_per_rack == 0
         with pytest.raises(ConfigError):
-            FleetConfig(racks_per_region=0)
+            FleetConfig(racks_per_region=-1)
+        with pytest.raises(ConfigError):
+            FleetConfig(runs_per_rack=-1)
         with pytest.raises(ConfigError):
             FleetConfig(hours=25)

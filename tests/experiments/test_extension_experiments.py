@@ -137,8 +137,10 @@ class TestFig15EdgeCases:
         )
 
         class FakeCtx:
-            def summaries(self, region):
-                return [summary]
+            def run_contention(self, region):
+                from repro.analysis.streaming import run_contention_from_summaries
+
+                return run_contention_from_summaries([summary])
 
         result = fig15_run_variation.run(FakeCtx())
         assert result.metric("median_share_drop") == 0.0

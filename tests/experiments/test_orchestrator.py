@@ -63,6 +63,18 @@ class TestIsolation:
         with pytest.raises(RuntimeError, match="injected failure"):
             run_experiments(tiny_ctx(), ["perf"], on_error="raise")
 
+    def test_on_error_raise_releases_tracemalloc(self, monkeypatch):
+        """Regression: the re-raise path returned before the epilogue,
+        leaving the process-wide tracer running and leaking its peak
+        into every later tracemalloc measurement in the process."""
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        failing_registry(monkeypatch, "perf")
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_experiments(tiny_ctx(), ["perf"], on_error="raise")
+        assert not tracemalloc.is_tracing()
+
     def test_invalid_on_error_rejected(self):
         with pytest.raises(ConfigError):
             run_experiments(tiny_ctx(), FAST, on_error="explode")

@@ -10,6 +10,7 @@ summary dataclasses.
 
 import dataclasses
 import math
+import os
 
 import pytest
 
@@ -159,3 +160,110 @@ class TestDatasetCache:
         assert default_cache_dir() == "/tmp/somewhere"
         monkeypatch.delenv("MILLISAMPLER_CACHE_DIR")
         assert default_cache_dir().endswith("millisampler-repro")
+
+
+class TestDegenerateScales:
+    """Zero racks and zero runs are valid (empty) region-days.
+
+    Regression: the parallel path crashed with ``max_workers=0`` when a
+    region planned zero racks, and the serial path dropped zero-run
+    racks from ``workloads`` while the parallel path kept them.
+    """
+
+    def test_zero_racks_parallel_matches_serial(self):
+        config = FleetConfig(racks_per_region=0, runs_per_rack=2, seed=77)
+        serial = generate_region_dataset(REGION_A, config, jobs=1)
+        parallel = generate_region_dataset(REGION_A, config, jobs=4)
+        assert serial.summaries == [] and parallel.summaries == []
+        assert serial.workloads == [] and parallel.workloads == []
+        assert serial.region == parallel.region == "RegA"
+
+    def test_zero_runs_per_rack_workloads_parity(self):
+        config = FleetConfig(racks_per_region=3, runs_per_rack=0, seed=77)
+        serial = generate_region_dataset(REGION_A, config, jobs=1)
+        parallel = generate_region_dataset(REGION_A, config, jobs=2)
+        assert serial.summaries == [] and parallel.summaries == []
+        # Every *planned* rack contributes its workload on both paths.
+        assert len(serial.workloads) == 3
+        assert [comparable(w) for w in serial.workloads] == [
+            comparable(w) for w in parallel.workloads
+        ]
+
+    def test_negative_scales_still_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(racks_per_region=-1)
+        with pytest.raises(ConfigError):
+            FleetConfig(runs_per_rack=-1)
+
+
+class TestCacheHardening:
+    def test_stale_tmp_files_swept_on_store(self, tmp_path, serial_rega):
+        from repro.fleet.cache import STALE_TMP_AGE_S, sweep_stale_tmp_files
+
+        stale = tmp_path / "dead-writer.tmp"
+        stale.write_bytes(b"orphan")
+        old = 2 * STALE_TMP_AGE_S
+        os.utime(stale, (os.path.getmtime(stale) - old, os.path.getmtime(stale) - old))
+        fresh = tmp_path / "live-writer.tmp"
+        fresh.write_bytes(b"in flight")
+
+        cache = DatasetCache(str(tmp_path))
+        cache.store(REGION_A, CONFIG, serial_rega)
+        assert not stale.exists()  # orphan removed
+        assert fresh.exists()  # live writer untouched
+        assert cache.metrics.counter("dataset.cache.swept_tmp") == 1
+
+    def test_sweep_missing_directory_is_noop(self, tmp_path):
+        from repro.fleet.cache import sweep_stale_tmp_files
+
+        assert sweep_stale_tmp_files(str(tmp_path / "nope")) == 0
+
+    def test_canonical_mixed_key_dict(self):
+        from repro.fleet.cache import _canonical
+
+        # Mixed-type dict keys are unorderable; sorting by str(key) must
+        # not raise and must be deterministic.
+        value = {1: "a", "b": 2, (2, 3): 4}
+        assert _canonical(value) == _canonical(dict(reversed(list(value.items()))))
+
+    def test_canonical_non_finite_floats(self):
+        import json as json_module
+
+        from repro.fleet.cache import _canonical
+
+        projected = _canonical({"x": float("nan"), "y": float("inf")})
+        assert projected == {"x": "__float__:nan", "y": "__float__:inf"}
+        # The projection must serialize under allow_nan=False.
+        json_module.dumps(projected, allow_nan=False)
+
+    def test_fleet_config_fields_exhaustively_classified(self):
+        """Every FleetConfig field must be explicitly key-bearing or
+        execution-only, so a future dataset-shaping field cannot be
+        silently left out of the cache key and alias datasets."""
+        from repro.fleet.cache import EXECUTION_ONLY_FIELDS, KEY_BEARING_FIELDS
+
+        declared = set(KEY_BEARING_FIELDS) | set(EXECUTION_ONLY_FIELDS)
+        actual = {f.name for f in dataclasses.fields(FleetConfig)}
+        assert declared == actual, (
+            f"unclassified FleetConfig fields: {sorted(actual - declared)}; "
+            f"stale classifications: {sorted(declared - actual)}"
+        )
+        assert not set(KEY_BEARING_FIELDS) & set(EXECUTION_ONLY_FIELDS)
+
+    def test_execution_only_fields_do_not_change_key(self):
+        from repro.fleet.cache import EXECUTION_ONLY_FIELDS
+
+        base = dataset_cache_key(REGION_A, CONFIG)
+        for name in EXECUTION_ONLY_FIELDS:
+            bumped = dataclasses.replace(CONFIG, **{name: getattr(CONFIG, name) + 3})
+            assert dataset_cache_key(REGION_A, bumped) == base, name
+
+    def test_key_bearing_fields_each_change_key(self):
+        from repro.fleet.cache import KEY_BEARING_FIELDS
+
+        base = dataset_cache_key(REGION_A, CONFIG)
+        for name in KEY_BEARING_FIELDS:
+            # hours cannot grow past a day; shrink it instead.
+            delta = -12 if name == "hours" else 1
+            bumped = dataclasses.replace(CONFIG, **{name: getattr(CONFIG, name) + delta})
+            assert dataset_cache_key(REGION_A, bumped) != base, name

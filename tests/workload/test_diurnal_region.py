@@ -92,6 +92,8 @@ class TestBuildRegionWorkloads:
         workloads = build_region_workloads(REGION_A, racks=3, rng=rng, servers_per_rack=16)
         assert all(w.placement.servers == 16 for w in workloads)
 
-    def test_zero_racks_rejected(self, rng):
+    def test_zero_racks_empty_negative_rejected(self, rng):
+        # Zero racks is a valid (empty) region; negatives are rejected.
+        assert build_region_workloads(REGION_A, racks=0, rng=rng) == []
         with pytest.raises(ConfigError):
-            build_region_workloads(REGION_A, racks=0, rng=rng)
+            build_region_workloads(REGION_A, racks=-1, rng=rng)

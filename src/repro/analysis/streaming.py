@@ -245,6 +245,27 @@ class _RowBlocks:
         self._subs: list[np.ndarray] = []
         self._values: list[np.ndarray] = []
 
+    @staticmethod
+    def _materialized(array: np.ndarray) -> np.ndarray:
+        """A copy detached from file- or buffer-backed storage.
+
+        Blocks outlive the shard frame that fed them: retaining a view
+        of a ``np.load(mmap_mode="r")`` array would pin the shard's fd
+        open for the accumulator's lifetime (the long-lived-service fd
+        leak) and read through a mapping the caller may since have
+        closed.  Anything whose ultimate base is not plain owned
+        process memory is copied; in-memory arrays pass through
+        zero-copy.
+        """
+        base = array
+        while isinstance(base, np.ndarray):
+            if isinstance(base, np.memmap):
+                return np.array(array)
+            if base.base is None:
+                return array
+            base = base.base
+        return np.array(array)
+
     def add_block(
         self,
         racks: np.ndarray,
@@ -263,10 +284,10 @@ class _RowBlocks:
             subs = np.zeros(racks.shape[0], dtype=np.int64)
         if not (racks.shape[0] == hours.shape[0] == values.shape[0] == subs.shape[0]):
             raise AnalysisError("row block columns must align")
-        self._racks.append(racks)
-        self._hours.append(hours)
-        self._subs.append(np.asarray(subs, dtype=np.int64))
-        self._values.append(values)
+        self._racks.append(self._materialized(racks))
+        self._hours.append(self._materialized(hours))
+        self._subs.append(self._materialized(np.asarray(subs, dtype=np.int64)))
+        self._values.append(self._materialized(values))
 
     def merge(self, other: "_RowBlocks") -> None:
         if self.value_columns != other.value_columns:

@@ -143,6 +143,15 @@ class FleetConfig:
     #: serial kernel, with diminishing returns (and growing footprint)
     #: beyond it.
     fluid_batch: int = 16
+    #: Return parallel workers' results through a preallocated
+    #: ``multiprocessing.shared_memory`` segment (columnar float64
+    #: slots, see :mod:`repro.fleet.shm`) instead of pickling the
+    #: summaries over the executor's result pipe.  Execution-only like
+    #: ``jobs``: the decoded dataset is bit-identical to the pickled
+    #: transport (asserted by the determinism suite), so the flag never
+    #: feeds the dataset cache key.  The pickled path (False, the
+    #: default) remains the bit-exactness oracle.
+    shm_transfer: bool = False
 
     def __post_init__(self) -> None:
         if self.racks_per_region < 0:

@@ -51,6 +51,74 @@ class InvariantViolation(SimulationError):
         super().__init__(message)
 
 
+class ParallelExecutionError(ReproError):
+    """Base class for failures of the process-pool fan-out substrate.
+
+    ``label`` names the unit of work involved (e.g. ``"rack 3 (RegA-
+    rack0003)"`` or ``"shard r0000-0064-h00-12"``) so callers — the CLI,
+    the query service, tests — can report *which* piece of the region
+    failed without parsing the message.
+    """
+
+    def __init__(self, label: str, message: str) -> None:
+        self.label = label
+        super().__init__(message)
+
+
+class WorkerTaskError(ParallelExecutionError):
+    """A worker task raised; the pool was cancelled fail-fast.
+
+    The original exception is chained as ``__cause__``.  Raised on the
+    *first* failure: pending work is cancelled immediately instead of
+    draining the whole queue, so a crash at rack 3 of 1000 surfaces in
+    O(window), not O(racks).
+    """
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        super().__init__(
+            label,
+            f"worker task failed at {label}: {type(cause).__name__}: {cause}",
+        )
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A worker process died abruptly (``BrokenProcessPool``).
+
+    A crashed worker takes the whole ``ProcessPoolExecutor`` with it
+    and every in-flight future reports the same breakage, so the exact
+    victim is unknowable; ``suspects`` lists the labels of the work
+    that was in flight when the pool broke (the first entry is the
+    future that reported the break).
+    """
+
+    def __init__(self, suspects: list[str], detail: str = "") -> None:
+        self.suspects = list(suspects)
+        label = self.suspects[0] if self.suspects else "<idle pool>"
+        message = (
+            f"worker process crashed while running {label}"
+            + (f" (also in flight: {', '.join(self.suspects[1:])})" if len(self.suspects) > 1 else "")
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(label, message)
+
+
+class WorkerCancelled(ReproError):
+    """A pooled generation was drained on request (e.g. SIGTERM).
+
+    In-flight work was allowed to finish; queued work was never
+    started.  ``completed`` counts the units that finished before the
+    drain."""
+
+    def __init__(self, completed: int, total: int) -> None:
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"generation cancelled after {completed}/{total} units; "
+            f"queued work was not started"
+        )
+
+
 class AnalysisError(ReproError):
     """Analysis-pipeline input did not satisfy preconditions."""
 

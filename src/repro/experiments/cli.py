@@ -71,6 +71,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze_parser.add_argument("directory")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the persistent query service: one shard store, one "
+             "worker pool, dataset/table1/figure queries over local HTTP "
+             "or a unix socket with NDJSON streaming (see repro.service)",
+    )
+    serve_parser.add_argument("--racks", type=int, default=100,
+                              help="racks per region for the synthetic dataset")
+    serve_parser.add_argument("--runs-per-rack", type=int, default=10)
+    serve_parser.add_argument("--seed", type=int, default=20221025)
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1",
+                              help="TCP bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8787,
+                              help="TCP port (0 picks a free port; default 8787)")
+    serve_parser.add_argument(
+        "--unix-socket", type=str, default=None, metavar="PATH",
+        help="also (or instead) listen on a unix domain socket",
+    )
+    serve_parser.add_argument(
+        "--no-tcp", action="store_true",
+        help="listen only on --unix-socket (requires it)",
+    )
+    serve_parser.add_argument(
+        "--request-threads", type=int, default=2,
+        help="threads executing query bodies; counted as reserved cores "
+             "when --jobs 0 sizes the worker pool, so pool + request "
+             "threads never oversubscribe the machine (default 2)",
+    )
+    _add_generation_args(serve_parser)
+
     report_parser = sub.add_parser(
         "report", help="run every experiment and write one markdown report"
     )
@@ -144,6 +174,13 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shard-hours", type=int, default=None, metavar="N",
         help="hours per shard for --store-dir (default 12)",
+    )
+    parser.add_argument(
+        "--shm-transfer", action="store_true",
+        help="return worker results through a shared-memory segment "
+             "instead of pickling them over the pool's result pipe; "
+             "bit-identical to the default pickled transport (which "
+             "remains the exactness oracle), cheaper at scale",
     )
 
 
@@ -242,6 +279,7 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
             runs_per_rack=args.runs_per_rack,
             seed=args.seed,
             jobs=args.jobs,
+            shm_transfer=getattr(args, "shm_transfer", False),
         ),
         cache_dir=_cache_dir(args),
         store_dir=store_dir,
@@ -273,6 +311,49 @@ def _finish_orchestrated(args, ctx, orchestration) -> int:
     if not orchestration.ok:
         print(orchestration.failure_summary(), file=sys.stderr)
         return 1
+    return 0
+
+
+def _serve(args) -> int:
+    """Handle `serve`: run the persistent query service until signaled."""
+    from ..service import QueryService, ServiceConfig, run_server
+
+    if args.no_tcp and not args.unix_socket:
+        print("error: --no-tcp requires --unix-socket", file=sys.stderr)
+        return 2
+    service = QueryService(
+        ServiceConfig(
+            fleet=FleetConfig(
+                racks_per_region=args.racks,
+                runs_per_rack=args.runs_per_rack,
+                seed=args.seed,
+                jobs=args.jobs,
+                shm_transfer=args.shm_transfer,
+            ),
+            cache_dir=_cache_dir(args),
+            store_dir=args.store_dir,
+            shard_racks=args.shard_racks,
+            shard_hours=args.shard_hours,
+            request_threads=args.request_threads,
+        )
+    )
+
+    def ready(port: int | None) -> None:
+        where = [] if port is None else [f"http://{args.host}:{port}"]
+        if args.unix_socket:
+            where.append(f"unix:{args.unix_socket}")
+        print(f"repro serve listening on {', '.join(where)} "
+              f"(pool={service.pool_jobs()} workers, "
+              f"{args.request_threads} request threads)", flush=True)
+
+    run_server(
+        service,
+        host=None if args.no_tcp else args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        ready=ready,
+    )
+    print("repro serve drained cleanly")
     return 0
 
 
@@ -342,6 +423,8 @@ def main(argv: list[str] | None = None) -> int:
         return _export(args)
     if args.command == "analyze":
         return _analyze(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "report":
         return _report(args)
     if args.command == "list":

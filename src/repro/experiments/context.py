@@ -32,6 +32,7 @@ from ..config import FleetConfig
 from ..errors import ConfigError
 from ..fleet.cache import DatasetCache
 from ..fleet.dataset import DatasetSummary, RegionDataset, generate_region_dataset
+from ..fleet.parallel import resolve_jobs
 from ..fleet.shards import (
     DEFAULT_SHARD_HOURS,
     DEFAULT_SHARD_RACKS,
@@ -68,6 +69,23 @@ class ExperimentContext:
     #: Telemetry registry shared by dataset generation, the cache, and
     #: every experiment run against this context (see repro.obs).
     metrics: Metrics = field(default_factory=Metrics, repr=False, compare=False)
+    #: Cores already committed elsewhere in this process — the query
+    #: service passes its request-thread count here.  Subtracted when
+    #: ``fleet.jobs == 0`` auto-sizes, so a persistent pool plus a
+    #: thread fan-out (``--exp-jobs`` or service request threads) never
+    #: double-subscribes the machine; an explicit job count is honored
+    #: as given.
+    reserved_cores: int = 0
+    #: External persistent executor for dataset fan-out (the query
+    #: service's process pool).  None — the default — lets each build
+    #: create and own its own pool.
+    pool: object | None = field(default=None, repr=False, compare=False)
+    #: Cooperative graceful-drain signal (the service's SIGTERM path):
+    #: when set, in-flight fan-out work finishes, queued work is never
+    #: started, and builds raise :class:`~repro.errors.WorkerCancelled`.
+    cancel_event: threading.Event | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Enable the runtime invariant auditor (see repro.simnet.audit):
     #: every simulator built inside :meth:`audit_scope` is continuously
     #: checked against the conservation laws, and violation/check totals
@@ -115,7 +133,15 @@ class ExperimentContext:
             return REGION_B
         raise ConfigError(f"unknown region {region!r}")
 
-    def dataset(self, region: str) -> RegionDataset | ShardedRegionDataset:
+    def resolved_jobs(self) -> int:
+        """``fleet.jobs`` with the auto-size case (0) discounted by
+        :attr:`reserved_cores`, so dataset fan-out never double-subscribes
+        cores the process already committed to request/experiment threads."""
+        return resolve_jobs(self.fleet.jobs, reserved=self.reserved_cores)
+
+    def dataset(
+        self, region: str, on_shard=None
+    ) -> RegionDataset | ShardedRegionDataset:
         """The region-day dataset, generated (or cache-loaded) on first use.
 
         With :attr:`store_dir` set this is a lazy
@@ -123,6 +149,12 @@ class ExperimentContext:
         shard, loaded via memmap); otherwise the legacy in-memory
         :class:`RegionDataset` behind the monolithic pickle cache.  Both
         expose ``region``/``summaries``/``workloads``/``table1_row``.
+
+        ``on_shard`` (shard-store path only) is invoked with each shard's
+        manifest record as it lands — the query service streams these to
+        clients as NDJSON progress events.  It fires only when this call
+        actually builds/opens the store; a memoized dataset returns
+        immediately without replay.
         """
         with self._dataset_lock:
             if region not in self._datasets:
@@ -140,9 +172,12 @@ class ExperimentContext:
                             self.store_dir,
                             shard_racks=self.shard_racks,
                             shard_hours=self.shard_hours,
-                            jobs=self.fleet.jobs,
+                            jobs=self.resolved_jobs(),
                             metrics=self.metrics,
                             progress=progress,
+                            pool=self.pool,
+                            cancel_event=self.cancel_event,
+                            on_shard=on_shard,
                         )
                     else:
                         cache = (
@@ -153,7 +188,13 @@ class ExperimentContext:
                         dataset = cache.load(spec, self.fleet) if cache is not None else None
                         if dataset is None:
                             dataset = generate_region_dataset(
-                                spec, self.fleet, progress=progress, metrics=self.metrics
+                                spec,
+                                self.fleet,
+                                progress=progress,
+                                jobs=self.resolved_jobs(),
+                                metrics=self.metrics,
+                                pool=self.pool,
+                                cancel_event=self.cancel_event,
                             )
                             if cache is not None:
                                 cache.store(spec, self.fleet, dataset)

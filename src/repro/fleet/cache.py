@@ -106,7 +106,7 @@ KEY_BEARING_FIELDS: tuple[str, ...] = (
     "hours",
     "seed",
 )
-EXECUTION_ONLY_FIELDS: tuple[str, ...] = ("jobs", "fluid_batch")
+EXECUTION_ONLY_FIELDS: tuple[str, ...] = ("jobs", "fluid_batch", "shm_transfer")
 
 
 def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:

@@ -306,6 +306,8 @@ def generate_region_dataset(
     progress: Callable[[int, int], None] | None = None,
     jobs: int | None = None,
     metrics: Metrics | None = None,
+    pool=None,
+    cancel_event=None,
 ) -> RegionDataset:
     """Generate and reduce one region-day.
 
@@ -314,18 +316,22 @@ def generate_region_dataset(
     every available core.  The result is identical for any job count.
     ``metrics`` receives a ``generate/<region>`` span and a
     ``dataset.generated_runs`` counter; telemetry never shapes data.
+    ``pool``/``cancel_event`` reach the parallel fan-out (see
+    :func:`repro.fleet.parallel.run_windowed`); the query service uses
+    them for its persistent pool and graceful drain.
     """
     resolved = config.jobs if jobs is None else jobs
     from .parallel import resolve_jobs
 
     resolved = resolve_jobs(resolved)
     metrics = metrics if metrics is not None else Metrics()
-    if resolved > 1:
+    if resolved > 1 or pool is not None:
         from .parallel import generate_region_dataset_parallel
 
         return generate_region_dataset_parallel(
             spec, config, jobs=resolved, synthesizer=synthesizer,
             progress=progress, metrics=metrics,
+            pool=pool, cancel_event=cancel_event,
         )
 
     summaries: list[RunSummary] = []

@@ -43,7 +43,8 @@ import logging
 import os
 import pickle
 import tempfile
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import threading
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -60,7 +61,7 @@ from ..analysis.streaming import (
 )
 from ..analysis.summary import RunSummary
 from ..config import FleetConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, WorkerCancelled
 from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload, RegionSpec
 from .cache import dataset_cache_key, sweep_stale_tmp_files
@@ -517,10 +518,27 @@ class RegionShardStore:
         jobs: int = 1,
         synthesizer: RackRunSynthesizer | None = None,
         progress: Callable[[int, int], None] | None = None,
+        pool: Executor | None = None,
+        cancel_event: threading.Event | None = None,
+        on_shard: Callable[[dict], None] | None = None,
     ) -> dict:
         """Generate every shard (serially or across a process pool) and
-        atomically publish the manifest.  Returns the manifest."""
-        from .parallel import resolve_jobs
+        atomically publish the manifest.  Returns the manifest.
+
+        ``on_shard`` receives each shard's manifest record as it
+        completes (the query service streams these as NDJSON progress
+        events).  ``pool`` injects an external executor — the service's
+        persistent pool — instead of creating one per build;
+        ``cancel_event`` requests a graceful drain (in-flight shards
+        finish, the manifest is *not* written, and
+        :class:`~repro.errors.WorkerCancelled` is raised — the store
+        stays an incomplete-but-consistent miss thanks to manifest-last
+        atomicity).  Fan-out failure semantics come from
+        :func:`repro.fleet.parallel.run_windowed`: fail-fast
+        ``WorkerTaskError`` naming the shard, crash containment via
+        ``WorkerCrashError``.
+        """
+        from .parallel import resolve_jobs, run_windowed
 
         jobs = resolve_jobs(jobs)
         os.makedirs(self.directory, exist_ok=True)
@@ -531,45 +549,43 @@ class RegionShardStore:
         total = sum(task.total_runs for task in tasks)
         done = 0
         records: dict[str, dict] = {}
+
+        def collect(record: dict, snapshot: dict | None) -> None:
+            nonlocal done
+            records[record["tag"]] = record
+            if snapshot is not None:
+                self.metrics.merge(snapshot)
+            self.metrics.incr("dataset.shards.generated")
+            done += record["runs"]
+            if progress is not None:
+                progress(done, total)
+            if on_shard is not None:
+                on_shard(record)
+
         with self.metrics.span(f"shards/build/{self.spec.name}"):
-            if jobs > 1 and len(tasks) > 1:
-                window = 2 * jobs
-                next_task = 0
-                with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                    futures = set()
-                    while futures or next_task < len(tasks):
-                        while next_task < len(tasks) and len(futures) < window:
-                            futures.add(
-                                pool.submit(
-                                    _shard_worker,
-                                    tasks[next_task],
-                                    self.config,
-                                    self.directory,
-                                )
-                            )
-                            next_task += 1
-                        finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                        for future in finished:
-                            tag, record, snapshot = future.result()
-                            records[tag] = record
-                            self.metrics.merge(snapshot)
-                            self.metrics.incr("dataset.shards.generated")
-                            done += record["runs"]
-                            if progress is not None:
-                                progress(done, total)
+            if (jobs > 1 or pool is not None) and len(tasks) > 1:
+                run_windowed(
+                    tasks,
+                    lambda executor, task: executor.submit(
+                        _shard_worker, task, self.config, self.directory
+                    ),
+                    lambda task, result: collect(result[1], result[2]),
+                    jobs=jobs,
+                    label=lambda task: f"shard {task.key.tag}",
+                    pool=pool,
+                    cancel_event=cancel_event,
+                )
             else:
                 synthesizer = synthesizer or RackRunSynthesizer()
-                for task in tasks:
+                for index, task in enumerate(tasks):
+                    if cancel_event is not None and cancel_event.is_set():
+                        raise WorkerCancelled(index, len(tasks))
                     with self.metrics.span("shards/generate"):
                         summaries = synthesize_shard(
                             task, self.config, synthesizer, metrics=self.metrics
                         )
                         record = _write_shard(self.directory, task, summaries, self.metrics)
-                    records[task.key.tag] = record
-                    self.metrics.incr("dataset.shards.generated")
-                    done += record["runs"]
-                    if progress is not None:
-                        progress(done, total)
+                    collect(record, None)
 
         _atomic_write(
             os.path.join(self.directory, "workloads.pkl"),
@@ -608,15 +624,42 @@ class RegionShardStore:
         self,
         jobs: int = 1,
         progress: Callable[[int, int], None] | None = None,
+        pool: Executor | None = None,
+        cancel_event: threading.Event | None = None,
+        on_shard: Callable[[dict], None] | None = None,
     ) -> "ShardedRegionDataset":
         """Open the store, building it first on a miss."""
         manifest = self.load_manifest()
         if manifest is None:
-            manifest = self.build(jobs=jobs, progress=progress)
+            manifest = self.build(
+                jobs=jobs,
+                progress=progress,
+                pool=pool,
+                cancel_event=cancel_event,
+                on_shard=on_shard,
+            )
         return ShardedRegionDataset(store=self, manifest=manifest)
 
 
 # -- the lazy dataset view ---------------------------------------------------
+
+
+def _close_mmap(array: np.ndarray) -> None:
+    """Release the file mapping behind a ``np.load(mmap_mode="r")`` array.
+
+    CPython's ``mmap.mmap`` dups the file descriptor, so every live
+    memmap holds one open fd until its mapping is explicitly closed —
+    GC alone is too lazy for a long-lived service iterating hundreds of
+    shards.  Any view taken from the array becomes invalid after this.
+    """
+    mapping = getattr(array, "_mmap", None)
+    if mapping is not None:
+        try:
+            mapping.close()
+        except BufferError:
+            # A live view still aliases the mapping; leave it to GC
+            # rather than pulling memory out from under the view.
+            pass
 
 
 @dataclass
@@ -632,6 +675,16 @@ class ShardFrame:
 
     def burst_column(self, name: str) -> np.ndarray:
         return self.bursts[:, BURST_COL[name]]
+
+    def close(self) -> None:
+        """Release both file mappings (and their fds) eagerly.
+
+        Consumers that stream shard-by-shard call this as soon as the
+        shard's rows are folded into an accumulator, keeping the open-fd
+        count O(1) in the number of shards instead of O(shards)-until-GC.
+        """
+        _close_mmap(self.runs)
+        _close_mmap(self.bursts)
 
 
 @dataclass
@@ -666,7 +719,13 @@ class ShardedRegionDataset:
     # -- shard iteration -------------------------------------------------
 
     def iter_frames(self) -> Iterator[ShardFrame]:
-        """Memmap-backed columnar frames, shard by shard."""
+        """Memmap-backed columnar frames, shard by shard.
+
+        Each frame holds two open fds until its :meth:`ShardFrame.close`
+        is called; the streaming consumers below close every frame as
+        soon as it is folded, and callers iterating directly should do
+        the same.
+        """
         for record in self.manifest["shards"]:
             with self.metrics.span("shards/load"):
                 runs = np.load(
@@ -718,8 +777,11 @@ class ShardedRegionDataset:
                     mmap_mode="r",
                 )
                 self.metrics.incr("dataset.shards.loaded")
+                # astype copies, so the mapping (and its fd) can be
+                # released before the next shard is opened.
                 rack_ids = runs[:, RUN_COL["rack_id"]].astype(np.int64)
                 hours = runs[:, RUN_COL["hour"]].astype(np.int64)
+                _close_mmap(runs)
                 for rack_id, hour, summary in zip(rack_ids, hours, summaries):
                     per_rack.setdefault(int(rack_id), []).append((int(hour), summary))
             for rack_id in sorted(per_rack):
@@ -759,7 +821,13 @@ class ShardedRegionDataset:
         merged = None
         for frame in self.iter_frames():
             partial = make()
-            feed(partial, frame)
+            try:
+                feed(partial, frame)
+            finally:
+                # Accumulators copy out of memmap-backed blocks (see
+                # _RowBlocks._materialized), so the shard's fds can be
+                # released the moment its rows are folded.
+                frame.close()
             with self.metrics.span("shards/merge"):
                 if merged is None:
                     merged = partial
@@ -859,9 +927,12 @@ class ShardedRegionDataset:
         """Runs per hour — the busy-hour fallback needs coverage counts."""
         counts: dict[int, int] = {}
         for frame in self.iter_frames():
-            hours, per_hour = np.unique(
-                frame.run_column("hour").astype(np.int64), return_counts=True
-            )
+            try:
+                hours, per_hour = np.unique(
+                    frame.run_column("hour").astype(np.int64), return_counts=True
+                )
+            finally:
+                frame.close()
             for hour, count in zip(hours.tolist(), per_hour.tolist()):
                 counts[hour] = counts.get(hour, 0) + count
         return counts
@@ -876,6 +947,9 @@ def generate_region_shards(
     jobs: int = 1,
     metrics: Metrics | None = None,
     progress: Callable[[int, int], None] | None = None,
+    pool: Executor | None = None,
+    cancel_event: threading.Event | None = None,
+    on_shard: Callable[[dict], None] | None = None,
 ) -> ShardedRegionDataset:
     """Build-or-open convenience wrapper around :class:`RegionShardStore`."""
     store = RegionShardStore(
@@ -886,7 +960,13 @@ def generate_region_shards(
         shard_hours=shard_hours,
         metrics=metrics if metrics is not None else Metrics(),
     )
-    return store.open(jobs=jobs, progress=progress)
+    return store.open(
+        jobs=jobs,
+        progress=progress,
+        pool=pool,
+        cancel_event=cancel_event,
+        on_shard=on_shard,
+    )
 
 
 # Re-exported for the CLI's manifest epilogue.

@@ -1,0 +1,451 @@
+"""Shared-memory result transport for the dataset process pool.
+
+The pickled result path serializes every :class:`RunSummary` (bursts,
+per-server stats, contention) through the executor's result pipe — at
+paper scale that is hundreds of kilobytes per rack-day crossing a
+byte-copied pipe, twice (pickle + unpickle).  This module replaces the
+transport, not the data: workers write their rack-day into a columnar
+float64 slot of one preallocated ``multiprocessing.shared_memory``
+segment and return only ``(rack_index, counts, metrics snapshot)``;
+the parent decodes the slot back into summary objects.
+
+Bit-exactness is structural:
+
+* every numeric summary field is a float64 or an integer far below
+  2**53, so the float64 columns round-trip exactly (NaN included);
+* every *non*-numeric field (rack and region names, per-server task
+  names, the workload ``extras``) is a pure function of the
+  :class:`RackRunPlan` the parent already holds — the decoder rebuilds
+  them exactly the way ``RackRunSynthesizer._assemble`` built them.
+
+The pickled path stays wired in (``FleetConfig.shm_transfer=False``,
+the default) as the bit-exactness oracle; the determinism suite
+asserts fingerprint equality between the two transports.
+
+Slots are sized from the plan: run and server-stat capacities are
+exact, burst capacity is a heuristic (bursts per server-run are data-
+dependent).  A rack-day that overflows its slot falls back to the
+pickled transport for that one result — counted, never wrong.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.bursts import Burst
+from ..analysis.contention import ContentionStats
+from ..analysis.summary import RunSummary, ServerRunStats
+from ..config import FleetConfig
+from ..errors import ConfigError
+from ..obs.metrics import Metrics
+from ..workload.region import RegionSpec
+from .dataset import RackRunPlan, synthesize_rack_day
+from .rackrun import RackRunSynthesizer
+
+#: Columnar field orders.  Append-only: the layout is process-private
+#: (never persisted), but keeping encode/decode in one place depends on
+#: these staying in sync with the dataclasses they project.
+RUN_FIELDS: tuple[str, ...] = (
+    "hour",
+    "servers",
+    "buckets",
+    "sampling_interval",
+    "contention_mean",
+    "contention_min_active",
+    "contention_p90",
+    "contention_max",
+    "contention_frac_zero",
+    "switch_discard_bytes",
+    "switch_ingress_bytes",
+    "n_bursts",
+    "n_server_stats",
+)
+BURST_FIELDS: tuple[str, ...] = (
+    "server",
+    "start",
+    "length",
+    "volume",
+    "avg_connections",
+    "retx_bytes",
+    "max_contention",
+    "lossy",
+    "first_loss_contention",
+)
+STAT_FIELDS: tuple[str, ...] = (
+    "server",
+    "bursty",
+    "avg_utilization",
+    "utilization_in_bursts",
+    "utilization_outside_bursts",
+    "bursts_per_second",
+    "conns_inside",
+    "conns_outside",
+    "total_in_bytes",
+    "in_burst_bytes",
+)
+
+#: Expected bursts per server-run used to size the burst region of a
+#: slot.  Synthetic runs land well under this; a pathological run that
+#: exceeds it takes the per-result pickle fallback (counted via
+#: ``dataset.shm.fallback``), so the hint trades segment size against
+#: fallback frequency, never correctness.
+BURSTS_PER_SERVER_RUN_HINT = 32
+
+_ITEMSIZE = np.dtype(np.float64).itemsize
+
+
+@dataclass(frozen=True)
+class SlotLayout:
+    """Capacities of one rack-day slot (crosses to workers, picklable)."""
+
+    run_cap: int
+    burst_cap: int
+    stat_cap: int
+
+    def __post_init__(self) -> None:
+        if min(self.run_cap, self.burst_cap, self.stat_cap) < 1:
+            raise ConfigError("slot capacities must be at least 1")
+
+    @property
+    def slot_floats(self) -> int:
+        return (
+            self.run_cap * len(RUN_FIELDS)
+            + self.burst_cap * len(BURST_FIELDS)
+            + self.stat_cap * len(STAT_FIELDS)
+        )
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.slot_floats * _ITEMSIZE
+
+    def slot_arrays(
+        self, buf, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(runs, bursts, stats) views into slot ``slot`` of ``buf``.
+
+        Views alias the shared segment — callers must drop them before
+        the segment is closed (the decoder copies every value out).
+        """
+        flat = np.frombuffer(
+            buf,
+            dtype=np.float64,
+            count=self.slot_floats,
+            offset=slot * self.slot_bytes,
+        )
+        runs_end = self.run_cap * len(RUN_FIELDS)
+        bursts_end = runs_end + self.burst_cap * len(BURST_FIELDS)
+        return (
+            flat[:runs_end].reshape(self.run_cap, len(RUN_FIELDS)),
+            flat[runs_end:bursts_end].reshape(self.burst_cap, len(BURST_FIELDS)),
+            flat[bursts_end:].reshape(self.stat_cap, len(STAT_FIELDS)),
+        )
+
+
+def plan_slot_layout(
+    plans: list[RackRunPlan], burst_hint: int = BURSTS_PER_SERVER_RUN_HINT
+) -> SlotLayout:
+    """Size one slot for the largest rack-day in ``plans``.
+
+    Run and server-stat capacities are exact (the plan fixes both);
+    only the burst capacity is heuristic.
+    """
+    run_cap = max(len(plan.hours) for plan in plans)
+    stat_cap = max(
+        len(plan.hours) * plan.workload.placement.servers for plan in plans
+    )
+    burst_cap = max(1, burst_hint * stat_cap)
+    return SlotLayout(run_cap=max(1, run_cap), burst_cap=burst_cap, stat_cap=max(1, stat_cap))
+
+
+# -- codec -------------------------------------------------------------------
+
+
+def encode_rack_day(
+    summaries: list[RunSummary],
+    runs: np.ndarray,
+    bursts: np.ndarray,
+    stats: np.ndarray,
+) -> tuple[int, int, int] | None:
+    """Write one rack-day into a slot's arrays; None when it overflows."""
+    total_bursts = sum(len(summary.bursts) for summary in summaries)
+    total_stats = sum(len(summary.server_stats) for summary in summaries)
+    if (
+        len(summaries) > runs.shape[0]
+        or total_bursts > bursts.shape[0]
+        or total_stats > stats.shape[0]
+    ):
+        return None
+    burst_row = stat_row = 0
+    for row, summary in enumerate(summaries):
+        contention = summary.contention
+        runs[row] = (
+            summary.hour,
+            summary.servers,
+            summary.buckets,
+            summary.sampling_interval,
+            contention.mean,
+            contention.min_active,
+            contention.p90,
+            contention.max,
+            contention.frac_zero,
+            summary.switch_discard_bytes,
+            summary.switch_ingress_bytes,
+            len(summary.bursts),
+            len(summary.server_stats),
+        )
+        for burst in summary.bursts:
+            bursts[burst_row] = (
+                burst.server,
+                burst.start,
+                burst.length,
+                burst.volume,
+                burst.avg_connections,
+                burst.retx_bytes,
+                burst.max_contention,
+                burst.lossy,
+                burst.first_loss_contention,
+            )
+            burst_row += 1
+        for stat in summary.server_stats:
+            stats[stat_row] = (
+                stat.server,
+                stat.bursty,
+                stat.avg_utilization,
+                stat.utilization_in_bursts,
+                stat.utilization_outside_bursts,
+                stat.bursts_per_second,
+                stat.conns_inside,
+                stat.conns_outside,
+                stat.total_in_bytes,
+                stat.in_burst_bytes,
+            )
+            stat_row += 1
+    return len(summaries), burst_row, stat_row
+
+
+def decode_rack_day(
+    plan: RackRunPlan,
+    counts: tuple[int, int, int],
+    runs: np.ndarray,
+    bursts: np.ndarray,
+    stats: np.ndarray,
+) -> list[RunSummary]:
+    """Rebuild one rack-day's summaries from a slot's arrays.
+
+    Non-numeric fields are rebuilt from ``plan.workload`` exactly the
+    way ``RackRunSynthesizer._assemble`` builds them, so the decoded
+    objects are value-identical to the pickled transport's.
+    """
+    workload = plan.workload
+    tasks = workload.placement.tasks
+    extras_proto = {
+        "colocated": workload.colocated,
+        "distinct_tasks": workload.placement.distinct_tasks(),
+        "dominant_share": workload.placement.dominant_share(),
+        "dominant_task": workload.placement.dominant_task(),
+    }
+    n_runs, n_bursts, n_stats = counts
+    out: list[RunSummary] = []
+    burst_row = stat_row = 0
+    for row in range(n_runs):
+        record = runs[row]
+        run_bursts = int(record[11])
+        run_stats = int(record[12])
+        burst_list = [
+            Burst(
+                server=int(b[0]),
+                start=int(b[1]),
+                length=int(b[2]),
+                volume=float(b[3]),
+                avg_connections=float(b[4]),
+                retx_bytes=float(b[5]),
+                max_contention=int(b[6]),
+                lossy=bool(b[7]),
+                first_loss_contention=int(b[8]),
+            )
+            for b in bursts[burst_row : burst_row + run_bursts]
+        ]
+        burst_row += run_bursts
+        stat_list = [
+            ServerRunStats(
+                server=int(s[0]),
+                task=tasks[int(s[0])],
+                bursty=bool(s[1]),
+                avg_utilization=float(s[2]),
+                utilization_in_bursts=float(s[3]),
+                utilization_outside_bursts=float(s[4]),
+                bursts_per_second=float(s[5]),
+                conns_inside=float(s[6]),
+                conns_outside=float(s[7]),
+                total_in_bytes=float(s[8]),
+                in_burst_bytes=float(s[9]),
+            )
+            for s in stats[stat_row : stat_row + run_stats]
+        ]
+        stat_row += run_stats
+        out.append(
+            RunSummary(
+                rack=workload.rack,
+                region=workload.region,
+                hour=int(record[0]),
+                servers=int(record[1]),
+                buckets=int(record[2]),
+                sampling_interval=float(record[3]),
+                contention=ContentionStats(
+                    mean=float(record[4]),
+                    min_active=float(record[5]),
+                    p90=float(record[6]),
+                    max=float(record[7]),
+                    frac_zero=float(record[8]),
+                ),
+                bursts=burst_list,
+                server_stats=stat_list,
+                switch_discard_bytes=float(record[9]),
+                switch_ingress_bytes=float(record[10]),
+                extras=dict(extras_proto),
+            )
+        )
+    if burst_row != n_bursts or stat_row != n_stats:
+        raise ConfigError(
+            f"slot count mismatch: decoded ({burst_row}, {stat_row}) bursts/stats, "
+            f"worker wrote ({n_bursts}, {n_stats})"
+        )
+    return out
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to the parent's segment without adopting its lifetime.
+
+    CPython 3.11 registers every attach with the resource tracker
+    unconditionally (the ``track=False`` knob arrived in 3.13).  Under
+    fork the worker shares the parent's tracker process, so an
+    unregister-after-attach would erase the *parent's* entry; under
+    spawn the worker's own tracker would "reclaim" the parent-owned
+    segment at worker exit.  Suppressing registration during the attach
+    is correct for both topologies: the parent created the segment, the
+    parent's registration stands, the parent unlinks it.  Pool workers
+    are single-threaded task loops, so the brief patch window races
+    with nothing.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _rack_day_shm_task(
+    plan: RackRunPlan,
+    config: FleetConfig,
+    synthesizer: RackRunSynthesizer | None,
+    segment_name: str,
+    slot: int,
+    layout: SlotLayout,
+) -> tuple[int, tuple[int, int, int] | None, list[RunSummary] | None, dict]:
+    """Top-level pool entry point: synthesize, write the slot, return counts.
+
+    On slot overflow the summaries ride back pickled (the ``fallback``
+    element) — slower for that one rack-day, never wrong.
+    """
+    metrics = Metrics()
+    summaries = synthesize_rack_day(plan, config, synthesizer, metrics=metrics)
+    segment = _attach_segment(segment_name)
+    try:
+        with metrics.span("shm/encode"):
+            counts = encode_rack_day(summaries, *layout.slot_arrays(segment.buf, slot))
+    finally:
+        segment.close()
+    if counts is None:
+        return plan.rack_index, None, summaries, metrics.snapshot()
+    return plan.rack_index, counts, None, metrics.snapshot()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def run_plans_shm(
+    plans: list[RackRunPlan],
+    spec: RegionSpec,
+    config: FleetConfig,
+    handle_result: Callable[[RackRunPlan, list[RunSummary], dict], None],
+    *,
+    jobs: int,
+    window: int | None = None,
+    synthesizer: RackRunSynthesizer | None = None,
+    metrics: Metrics | None = None,
+    pool: Executor | None = None,
+    cancel_event: threading.Event | None = None,
+    burst_hint: int = BURSTS_PER_SERVER_RUN_HINT,
+) -> int:
+    """Fan rack-day plans out with shared-memory result transport.
+
+    ``handle_result(plan, summaries, worker_snapshot)`` receives each
+    decoded rack-day in completion order.  Failure semantics are
+    :func:`repro.fleet.parallel.run_windowed`'s; slots held by work
+    that was in flight when a pool broke are re-used by the retry
+    (slot assignment is per rack, not per submission).
+    """
+    from .parallel import _plan_label, resolve_jobs, run_windowed
+
+    if not plans:
+        return 0
+    jobs = resolve_jobs(jobs)
+    if window is None:
+        window = 2 * jobs
+    metrics = metrics if metrics is not None else Metrics()
+    layout = plan_slot_layout(plans, burst_hint=burst_hint)
+    segment = shared_memory.SharedMemory(create=True, size=window * layout.slot_bytes)
+    free_slots: deque[int] = deque(range(window))
+    slot_by_rack: dict[int, int] = {}
+
+    def submit(executor: Executor, plan: RackRunPlan):
+        slot = slot_by_rack.get(plan.rack_index)
+        if slot is None:
+            slot = free_slots.popleft()
+            slot_by_rack[plan.rack_index] = slot
+        return executor.submit(
+            _rack_day_shm_task, plan, config, synthesizer, segment.name, slot, layout
+        )
+
+    def handle(plan: RackRunPlan, result) -> None:
+        _rack_index, counts, fallback, snapshot = result
+        slot = slot_by_rack.pop(plan.rack_index)
+        try:
+            if counts is None:
+                metrics.incr("dataset.shm.fallback")
+                summaries = fallback
+            else:
+                with metrics.span("shm/decode"):
+                    summaries = decode_rack_day(
+                        plan, counts, *layout.slot_arrays(segment.buf, slot)
+                    )
+                metrics.incr("dataset.shm.rack_days")
+        finally:
+            free_slots.append(slot)
+        handle_result(plan, summaries, snapshot)
+
+    try:
+        return run_windowed(
+            plans,
+            submit,
+            handle,
+            jobs=jobs,
+            window=window,
+            label=_plan_label,
+            pool=pool,
+            cancel_event=cancel_event,
+        )
+    finally:
+        segment.close()
+        segment.unlink()

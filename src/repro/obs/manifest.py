@@ -215,6 +215,109 @@ def validate_manifest(manifest: dict) -> None:
         )
 
 
+#: Schema family of the query service's ``/metrics`` document — a
+#: sibling of the run manifest that reuses its ``config`` block layout
+#: (and validator) so tooling reading one can read the other.
+SERVICE_METRICS_SCHEMA = "millisampler-repro/service-metrics"
+
+#: Version of the service-metrics layout; tracks the manifest version.
+SERVICE_METRICS_SCHEMA_VERSION = 1
+
+#: Required service block fields -> accepted types.
+_SERVICE_FIELDS: dict[str, tuple[type, ...]] = {
+    "requests": (int,),
+    "queries_executed": (int,),
+    "queries_coalesced": (int,),
+    "queries_failed": (int,),
+    "pool_replaced": (int,),
+    "uptime_s": (int, float),
+    "request_threads": (int,),
+    "pool_jobs": (int,),
+}
+
+
+def build_service_metrics(
+    fleet_config,
+    service: dict,
+    telemetry: dict | None = None,
+    store_dir: str | None = None,
+    shard_racks: int | None = None,
+    shard_hours: int | None = None,
+    cache_dir: str | None = None,
+) -> dict:
+    """Assemble a ``/metrics`` document for the query service.
+
+    Shares the run manifest's ``config`` block verbatim (same fields,
+    same types) and carries the service's own counters in ``service``
+    plus the full metrics-registry snapshot in ``telemetry``.
+    """
+    document = {
+        "schema": SERVICE_METRICS_SCHEMA,
+        "schema_version": SERVICE_METRICS_SCHEMA_VERSION,
+        "created_at": time.time(),
+        "config": {
+            "racks_per_region": fleet_config.racks_per_region,
+            "runs_per_rack": fleet_config.runs_per_rack,
+            "hours": fleet_config.hours,
+            "seed": fleet_config.seed,
+            "jobs": fleet_config.jobs,
+            "cache_dir": cache_dir,
+            "store_dir": store_dir,
+            "shard_racks": shard_racks,
+            "shard_hours": shard_hours,
+        },
+        "service": {name: service.get(name, 0) for name in _SERVICE_FIELDS},
+        "telemetry": telemetry if telemetry is not None else {},
+    }
+    validate_service_metrics(document)
+    return document
+
+
+def validate_service_metrics(document: dict) -> None:
+    """Check a service ``/metrics`` document; raises listing every
+    violation, mirroring :func:`validate_manifest`."""
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    check(isinstance(document, dict), "metrics document is not a dict")
+    if not isinstance(document, dict):
+        raise ManifestError("; ".join(problems))
+
+    check(document.get("schema") == SERVICE_METRICS_SCHEMA,
+          f"schema != {SERVICE_METRICS_SCHEMA!r}")
+    check(document.get("schema_version") == SERVICE_METRICS_SCHEMA_VERSION,
+          f"schema_version != {SERVICE_METRICS_SCHEMA_VERSION}")
+    check(isinstance(document.get("created_at"), (int, float)),
+          "created_at is not a timestamp")
+
+    config = document.get("config")
+    if isinstance(config, dict):
+        for name, types in _CONFIG_FIELDS.items():
+            check(isinstance(config.get(name), types),
+                  f"config.{name} missing or mistyped")
+    else:
+        problems.append("config is not a dict")
+
+    service = document.get("service")
+    if isinstance(service, dict):
+        for name, types in _SERVICE_FIELDS.items():
+            check(isinstance(service.get(name), types),
+                  f"service.{name} missing or mistyped")
+    else:
+        problems.append("service is not a dict")
+
+    check(isinstance(document.get("telemetry"), dict), "telemetry is not a dict")
+
+    if problems:
+        raise ManifestError(
+            "service metrics do not satisfy schema v"
+            f"{SERVICE_METRICS_SCHEMA_VERSION}: " + "; ".join(problems)
+        )
+
+
 def write_manifest(manifest: dict, path: str) -> str:
     """Validate and write a manifest; returns the path."""
     validate_manifest(manifest)

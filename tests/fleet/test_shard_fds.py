@@ -1,0 +1,86 @@
+"""File-descriptor hygiene of the streaming shard consumers.
+
+Every streamed aggregation memmaps each shard's two arrays; a frame
+left unclosed leaks two fds per shard, so a few hundred shards exhaust
+the default ulimit mid-report.  These tests regress the leak directly:
+with >100 shards on disk, repeated full-store streaming passes must
+leave the process fd count where it started.
+"""
+
+import os
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet.shards import RegionShardStore
+from repro.workload.region import REGION_A
+
+from .test_failfast import FastSynthesizer
+
+# 26 racks x 4 distinct run hours, sharded 1x1, is exactly 104 shards:
+# every (rack, hour) with runs lands in its own shard file pair.
+CONFIG = FleetConfig(racks_per_region=26, runs_per_rack=4, seed=47)
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.fixture(scope="module")
+def sharded(tmp_path_factory):
+    store = RegionShardStore(
+        root=str(tmp_path_factory.mktemp("fd-store")),
+        spec=REGION_A,
+        config=CONFIG,
+        shard_racks=1,
+        shard_hours=1,
+    )
+    store.build(jobs=1, synthesizer=FastSynthesizer())
+    return store.open()
+
+
+def test_store_has_more_than_100_shards(sharded):
+    shards = sharded.manifest["shards"]
+    assert len(shards) == CONFIG.racks_per_region * CONFIG.runs_per_rack
+    assert len(shards) > 100
+
+
+def test_streaming_aggregations_do_not_leak_fds(sharded):
+    aggregations = [
+        ("table1", sharded.table1_row),
+        ("hourly_boxes", sharded.hourly_boxes),
+        ("run_contention", sharded.run_contention),
+        ("burst_contention", sharded.burst_contention),
+        ("rack_profiles", sharded.rack_profiles),
+        ("hour_counts", sharded.hour_counts),
+    ]
+    # Warm one pass first: lazily-imported modules and pytest machinery
+    # legitimately open a few fds the first time through.
+    for _name, run in aggregations:
+        run()
+    baseline = _open_fds()
+    # Two further full passes stream >600 shard merges; the fd count
+    # must never drift above the post-warmup baseline (small slack for
+    # allocator/introspection noise, far below 2 fds per shard).
+    for _round in range(2):
+        for name, run in aggregations:
+            run()
+            assert _open_fds() <= baseline + 4, (
+                f"fd leak after streaming {name}: "
+                f"{_open_fds()} open vs baseline {baseline}"
+            )
+
+
+def test_direct_frame_iteration_bounds_fds(sharded):
+    baseline = _open_fds()
+    streamed = 0
+    for frame in sharded.iter_frames():
+        try:
+            assert frame.runs.shape[0] >= 1
+            # While one frame is open at most its own two fds are extra.
+            assert _open_fds() <= baseline + 2 + 4
+        finally:
+            frame.close()
+        streamed += 1
+    assert streamed > 100
+    assert _open_fds() <= baseline + 4

@@ -1,0 +1,78 @@
+"""Bit-exactness of the shared-memory result transport.
+
+The pickled result path is the oracle: with ``shm_transfer`` enabled
+the decoded dataset must fingerprint-identical to both the serial and
+pickled-parallel paths, the ``dataset.shm.rack_days`` counter must show
+the shm path actually carried the results, and a slot overflow must
+fall back to pickling (counted) without changing a single value.
+"""
+
+import dataclasses
+
+from repro.config import FleetConfig
+from repro.fleet.cache import dataset_cache_key
+from repro.fleet.dataset import generate_region_dataset, plan_region
+from repro.fleet.parallel import generate_region_dataset_parallel
+from repro.fleet.shm import run_plans_shm
+from repro.obs.metrics import Metrics
+from repro.workload.region import REGION_A
+
+from .test_failfast import FastSynthesizer
+from .test_parallel_cache import fingerprint
+
+CONFIG = FleetConfig(racks_per_region=4, runs_per_rack=2, seed=31)
+SHM_CONFIG = dataclasses.replace(CONFIG, shm_transfer=True)
+
+
+def test_shm_transport_is_bit_identical_to_serial_and_pickled():
+    serial = generate_region_dataset(REGION_A, CONFIG, synthesizer=FastSynthesizer())
+    pickled = generate_region_dataset_parallel(
+        REGION_A, CONFIG, jobs=2, synthesizer=FastSynthesizer()
+    )
+    metrics = Metrics()
+    shm = generate_region_dataset_parallel(
+        REGION_A, SHM_CONFIG, jobs=2, synthesizer=FastSynthesizer(), metrics=metrics
+    )
+    assert fingerprint(shm) == fingerprint(serial)
+    assert fingerprint(shm) == fingerprint(pickled)
+    # Every rack-day crossed through the segment, none fell back.
+    assert metrics.counter("dataset.shm.rack_days") == CONFIG.racks_per_region
+    assert metrics.counter("dataset.shm.fallback") == 0
+
+
+def test_slot_overflow_falls_back_to_pickle_without_value_drift():
+    plans = plan_region(REGION_A, CONFIG)
+    oracle = generate_region_dataset_parallel(
+        REGION_A, CONFIG, jobs=2, synthesizer=FastSynthesizer()
+    )
+    metrics = Metrics()
+    per_rack = {}
+
+    def handle_result(plan, summaries, snapshot):
+        per_rack[plan.rack_index] = summaries
+
+    # burst_hint=0 shrinks every slot's burst region to a single row, so
+    # any rack-day with more than one burst overflows and must ride back
+    # over the pickled fallback.
+    run_plans_shm(
+        plans,
+        REGION_A,
+        CONFIG,
+        handle_result,
+        jobs=2,
+        synthesizer=FastSynthesizer(),
+        metrics=metrics,
+        burst_hint=0,
+    )
+    assert metrics.counter("dataset.shm.fallback") > 0
+    flattened = [s for index in sorted(per_rack) for s in per_rack[index]]
+    got = dataclasses.replace(oracle, summaries=flattened)
+    assert fingerprint(got) == fingerprint(oracle)
+
+
+def test_shm_transfer_is_execution_only_for_the_cache_key():
+    # Flipping the transport must not invalidate cached datasets: the
+    # two paths produce identical bytes, so they share a cache entry.
+    assert dataset_cache_key(REGION_A, CONFIG) == dataset_cache_key(
+        REGION_A, SHM_CONFIG
+    )

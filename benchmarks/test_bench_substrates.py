@@ -68,6 +68,61 @@ def test_bench_fluid_batch(benchmark):
     assert serial_s / batch_s >= 2.0
 
 
+def test_bench_policy_batch(benchmark):
+    """The batched fluid kernel across the non-DT sharing-policy zoo.
+
+    Every registered policy advertises a vectorized ``limits`` kernel
+    (``batch_limits``); this gate keeps that promise honest by timing
+    each non-DT policy's ``run_batch`` against the DT reference batch
+    and asserting it stays within 2x — a policy silently degrading to
+    the per-run fallback loop costs far more than that.  The tracked
+    benchmark time is the whole zoo sweep."""
+    from repro.fleet.policies import build_policy, registered_policy_specs
+
+    runs, buckets, servers = 4, 600, 92
+    rng = np.random.default_rng(0)
+    demand = rng.exponential(0.15 * DRAIN, (runs, buckets, servers))
+    demand[rng.random((runs, buckets, servers)) < 0.02] = 2.0 * DRAIN
+    persistence = np.full((runs, servers), 0.05)
+    specs = registered_policy_specs()
+    queues_per_quadrant = -(-servers // units.NUM_QUADRANTS)
+    models = {
+        spec.name: FluidBufferModel(
+            servers=servers,
+            policy=build_policy(spec, queues_per_quadrant=queues_per_quadrant),
+        )
+        for spec in specs
+    }
+
+    def best_of(name, rounds=3):
+        model = models[name]
+        model.run_batch(demand, persistence)  # warm
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = model.run_batch(demand, persistence)
+            times.append(time.perf_counter() - start)
+        assert result.delivered.sum() > 0
+        return min(times)
+
+    dt_s = best_of("dynamic-threshold")
+    benchmark.extra_info["dt_batch_s"] = dt_s
+    for spec in specs[1:]:
+        ratio = best_of(spec.name) / dt_s
+        benchmark.extra_info[f"ratio_{spec.name}"] = ratio
+        assert ratio <= 2.0, (
+            f"{spec.name} batch kernel at {ratio:.2f}x of the DT batch "
+            f"(bound 2x): its limits kernel has likely fallen off the "
+            f"vectorized path"
+        )
+
+    def sweep():
+        for spec in specs[1:]:
+            models[spec.name].run_batch(demand, persistence)
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+
 def test_bench_sampler_observe_batch(benchmark):
     """100k packets through observe_batch vs the scalar observe loop."""
     count = 100_000

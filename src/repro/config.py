@@ -10,6 +10,8 @@ threshold.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 
 from . import units
@@ -110,6 +112,139 @@ class SamplerConfig:
         return self.sampling_interval * self.buckets
 
 
+#: Parameter values a :class:`PolicySpec` may carry.  The scalar JSON
+#: types only — a spec must survive a canonical-JSON round trip bit-for-
+#: bit, and it crosses process boundaries (pickled into workers, hashed
+#: into dataset cache keys), so anything richer lives in the policy
+#: object built from the spec, never in the spec itself.
+_POLICY_PARAM_TYPES = (str, int, float, bool)
+
+
+def _coerce_policy_value(raw: str) -> str | int | float | bool:
+    """Parse one ``key=value`` CLI token into its natural scalar type."""
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Serializable identity of a buffer-sharing policy.
+
+    A spec is *data*, not behaviour: a registered policy name plus the
+    constructor parameters the run pins down, normalized to a sorted
+    tuple of ``(key, value)`` pairs so equal specs compare, hash, and
+    serialize identically.  The live :class:`~repro.fleet.policies.SharingPolicy`
+    is built from a spec via :func:`repro.fleet.policies.build_policy`
+    (the registry lives there; this module stays import-cycle-free).
+
+    The default spec — ``dynamic-threshold`` with no pinned parameters —
+    means "Choudhury-Hahne DT at the rack's configured alpha", i.e.
+    exactly the behaviour every dataset had before policy became a
+    config axis.  Parameters left unpinned take the policy class's own
+    defaults at build time.
+    """
+
+    name: str = "dynamic-threshold"
+    params: tuple[tuple[str, str | int | float | bool], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("policy name must be a non-empty string")
+        raw = self.params.items() if isinstance(self.params, dict) else self.params
+        seen: dict[str, str | int | float | bool] = {}
+        for pair in raw:
+            try:
+                key, value = pair
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "policy params must be (name, value) pairs"
+                ) from None
+            if not isinstance(key, str) or not key:
+                raise ConfigError("policy parameter names must be non-empty strings")
+            if key in seen:
+                raise ConfigError(f"duplicate policy parameter {key!r}")
+            if not isinstance(value, _POLICY_PARAM_TYPES):
+                raise ConfigError(
+                    f"policy parameter {key!r} must be str/int/float/bool, "
+                    f"got {type(value).__name__}"
+                )
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ConfigError(f"policy parameter {key!r} must be finite")
+            seen[key] = value
+        object.__setattr__(self, "params", tuple(sorted(seen.items())))
+
+    def param_dict(self) -> dict[str, str | int | float | bool]:
+        """The pinned parameters as a plain dict."""
+        return dict(self.params)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form: equal specs produce equal strings.
+
+        This is the spec's identity everywhere it is persisted — the
+        dataset cache key payload, the shard-store manifest — so it must
+        be stable across processes and Python versions (sorted keys, no
+        NaN, no whitespace variance).
+        """
+        return json.dumps(
+            {"name": self.name, "params": self.param_dict()},
+            sort_keys=True,
+            allow_nan=False,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicySpec":
+        """Inverse of :meth:`canonical_json`."""
+        try:
+            payload = json.loads(text)
+            name = payload["name"]
+            params = tuple(payload.get("params", {}).items())
+        except (ValueError, TypeError, KeyError, AttributeError) as exc:
+            raise ConfigError(f"malformed policy spec JSON: {exc}") from exc
+        return cls(name=name, params=params)
+
+    @classmethod
+    def from_string(cls, text: str) -> "PolicySpec":
+        """Parse the CLI form ``name`` or ``name:key=val,key=val``.
+
+        Values are coerced to the narrowest scalar type that parses
+        (bool, int, float, then string), matching how the policy
+        constructors consume them.
+        """
+        name, _, rest = text.partition(":")
+        name = name.strip()
+        params: list[tuple[str, str | int | float | bool]] = []
+        if rest.strip():
+            for token in rest.split(","):
+                key, sep, raw = token.partition("=")
+                key = key.strip()
+                if not sep or not key:
+                    raise ConfigError(
+                        f"malformed policy parameter {token!r}; "
+                        "expected name:key=value,key=value"
+                    )
+                params.append((key, _coerce_policy_value(raw.strip())))
+        return cls(name=name, params=tuple(params))
+
+
+#: The spec every config carries unless a run pins another policy: the
+#: deployed Choudhury-Hahne dynamic threshold, exactly as before policy
+#: was a config axis.
+DEFAULT_POLICY_SPEC = PolicySpec()
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """Scale of the synthetic region-day dataset (Section 5).
@@ -152,6 +287,13 @@ class FleetConfig:
     #: feeds the dataset cache key.  The pickled path (False, the
     #: default) remains the bit-exactness oracle.
     shm_transfer: bool = False
+    #: Buffer-sharing policy every synthesized rack runs under.  A
+    #: dataset axis like ``seed``: two configs differing only in policy
+    #: describe *different* region-days, so the spec feeds the dataset
+    #: cache key and the shard-store manifest (see
+    #: :mod:`repro.fleet.cache`; the default DT spec is keyed as the
+    #: pre-policy-axis payload so existing caches stay valid).
+    policy: PolicySpec = field(default_factory=PolicySpec)
 
     def __post_init__(self) -> None:
         if self.racks_per_region < 0:
@@ -164,6 +306,8 @@ class FleetConfig:
             raise ConfigError("jobs cannot be negative (0 means all cores)")
         if self.fluid_batch < 1:
             raise ConfigError("fluid batch must contain at least one run")
+        if not isinstance(self.policy, PolicySpec):
+            raise ConfigError("policy must be a PolicySpec")
 
 
 #: The configuration used throughout the paper's analysis.

@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--racks", type=int, default=10)
     export_parser.add_argument("--runs-per-rack", type=int, default=4)
     export_parser.add_argument("--seed", type=int, default=20221025)
+    export_parser.add_argument(
+        "--policy", type=_policy_arg, default=None, metavar="NAME[:K=V,...]",
+        help="buffer-sharing policy for the exported runs "
+             "(see `run`'s --policy)",
+    )
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -139,13 +144,33 @@ def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _policy_arg(text: str):
+    """argparse type for ``--policy``: a validated PolicySpec."""
+    from ..errors import ConfigError
+    from ..fleet.policies import parse_policy_arg
+
+    try:
+        return parse_policy_arg(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _add_generation_args(parser: argparse.ArgumentParser) -> None:
     """Dataset-generation knobs shared by `run` and `report`.
 
     The per-(rack, run) seed streams make generation identical for any
     --jobs value, and the cache key covers everything that shapes the
-    data, so these flags change cost, never results.
+    data, so these flags change cost, never results.  ``--policy`` is
+    the exception by design: the sharing policy shapes the data, so it
+    feeds the cache key and per-policy datasets never collide.
     """
+    parser.add_argument(
+        "--policy", type=_policy_arg, default=None, metavar="NAME[:K=V,...]",
+        help="buffer-sharing policy every synthesized rack runs under, "
+             "as a registered name with optional parameters, e.g. "
+             "'delay-driven:alpha=1,target_delay_steps=2' (default: the "
+             "deployed dynamic threshold; see repro.fleet.policies)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker processes for dataset generation "
@@ -214,7 +239,7 @@ def _export(args) -> int:
 
     spec = REGION_A if args.region == "RegA" else REGION_B
     rng = np.random.default_rng(args.seed)
-    synthesizer = RackRunSynthesizer()
+    synthesizer = RackRunSynthesizer(policy=args.policy)
     workloads = build_region_workloads(spec, args.racks, rng)
     written = 0
     for workload in workloads:
@@ -273,6 +298,7 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
     from ..fleet.shards import DEFAULT_SHARD_HOURS, DEFAULT_SHARD_RACKS
 
     store_dir = getattr(args, "store_dir", None)
+    policy = getattr(args, "policy", None)
     return ExperimentContext(
         fleet=FleetConfig(
             racks_per_region=args.racks,
@@ -280,6 +306,7 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
             seed=args.seed,
             jobs=args.jobs,
             shm_transfer=getattr(args, "shm_transfer", False),
+            **({"policy": policy} if policy is not None else {}),
         ),
         cache_dir=_cache_dir(args),
         store_dir=store_dir,
@@ -329,6 +356,7 @@ def _serve(args) -> int:
                 seed=args.seed,
                 jobs=args.jobs,
                 shm_transfer=args.shm_transfer,
+                **({"policy": args.policy} if args.policy is not None else {}),
             ),
             cache_dir=_cache_dir(args),
             store_dir=args.store_dir,

@@ -56,6 +56,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
             "ablation-policies", "ablation_policies", "Buffer-sharing policy ablation", False
         ),
         ExperimentEntry(
+            "policy-sweep",
+            "policy_sweep",
+            "Contention vs loss across the buffer-sharing policy zoo",
+            False,
+        ),
+        ExperimentEntry(
             "ablation-threshold",
             "ablation_threshold",
             "Burst-definition sensitivity",

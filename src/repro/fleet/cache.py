@@ -33,7 +33,7 @@ import pickle
 import tempfile
 import time
 
-from ..config import FleetConfig
+from ..config import DEFAULT_POLICY_SPEC, FleetConfig
 from ..obs.metrics import Metrics
 from ..workload.region import RegionSpec
 from .dataset import RegionDataset
@@ -105,20 +105,30 @@ KEY_BEARING_FIELDS: tuple[str, ...] = (
     "runs_per_rack",
     "hours",
     "seed",
+    "policy",
 )
 EXECUTION_ONLY_FIELDS: tuple[str, ...] = ("jobs", "fluid_batch", "shm_transfer")
 
 
 def dataset_cache_key(spec: RegionSpec, config: FleetConfig) -> str:
     """Content hash of everything that determines a region-day's data."""
+    fleet_fields = {}
+    for name in KEY_BEARING_FIELDS:
+        value = getattr(config, name)
+        if name == "policy" and value == DEFAULT_POLICY_SPEC:
+            # The default DT spec reproduces exactly the data generated
+            # before policy became a config axis, so it is omitted from
+            # the payload: default-policy keys are byte-identical to
+            # pre-policy keys and every existing cache entry and shard
+            # store stays valid.  Any non-default spec is keyed.
+            continue
+        fleet_fields[name] = _canonical(value)
     payload = {
         "format": DATASET_FORMAT_VERSION,
         "spec": _canonical(spec),
         # Explicit field list rather than asdict(config): jobs (and any
         # future execution-only knob) must not change the key.
-        "fleet": {
-            name: _canonical(getattr(config, name)) for name in KEY_BEARING_FIELDS
-        },
+        "fleet": fleet_fields,
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, allow_nan=False).encode("utf-8")

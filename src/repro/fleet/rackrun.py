@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from .. import units
+from ..config import DEFAULT_POLICY_SPEC, PolicySpec
 from ..core.run import MillisamplerRun, RunMetadata, SyncRun
 from ..core.sketch import SATURATION_ESTIMATE, SKETCH_BITS
 from ..errors import SimulationError
@@ -19,6 +20,7 @@ from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload
 from .buffermodel import FluidBufferModel, FluidBufferResult
 from .demand import DemandModel, ServerDemand
+from .policies import SharingPolicy, build_policy
 
 #: One entry of a synthesis batch: (workload, hour, rng-or-seed-leaf).
 BatchItem = tuple[RackWorkload, int, "np.random.Generator | np.random.SeedSequence"]
@@ -55,6 +57,7 @@ class RackRunSynthesizer:
         trimmed_buckets_mean: int = 1850,
         trimmed_buckets_std: int = 40,
         egress_echo: float = 0.18,
+        policy: PolicySpec | None = None,
     ) -> None:
         if trimmed_buckets_mean <= 0:
             raise SimulationError("run length must be positive")
@@ -64,6 +67,15 @@ class RackRunSynthesizer:
         self.trimmed_buckets_mean = trimmed_buckets_mean
         self.trimmed_buckets_std = trimmed_buckets_std
         self.egress_echo = egress_echo
+        #: Buffer-sharing policy spec every synthesized run's fluid
+        #: model is built from.  The default DT spec is normalized to
+        #: None so the fluid model applies its own default — DT at each
+        #: rack's configured alpha — which is bit-identical to the
+        #: pre-policy-axis synthesizer.  The spec (not a live policy) is
+        #: stored because synthesizers cross process boundaries pickled.
+        self.policy = (
+            policy if policy is not None and policy != DEFAULT_POLICY_SPEC else None
+        )
 
     def _run_length(self, rng: np.random.Generator) -> int:
         """Post-trim run length (Section 5: average 1.85 s at 1 ms)."""
@@ -110,6 +122,22 @@ class RackRunSynthesizer:
             buffer_config=workload.rack_config.buffer,
             line_rate=workload.rack_config.server_link_rate,
             step=self.sampling_interval,
+            policy=self._policy_for(workload),
+        )
+
+    def _policy_for(self, workload: RackWorkload) -> SharingPolicy | None:
+        """Build the configured policy for one rack's geometry.
+
+        Queue-count-partitioning policies get the rack's queues per
+        quadrant (servers round-robined over the quadrants, as the
+        fluid model and the switch assign them).
+        """
+        if self.policy is None:
+            return None
+        servers = workload.placement.servers
+        num_quadrants = min(units.NUM_QUADRANTS, servers)
+        return build_policy(
+            self.policy, queues_per_quadrant=-(-servers // num_quadrants)
         )
 
     def _assemble(

@@ -315,7 +315,7 @@ def synthesize_shard(
     reducing each fluid batch immediately — the worker's unit of work."""
     from .dataset import _summarize_batch  # shared batching helper
 
-    synthesizer = synthesizer or RackRunSynthesizer()
+    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy)
     metrics = metrics if metrics is not None else Metrics()
     items: list[BatchItem] = []
     for plan, run_indices in zip(task.plans, task.run_indices):
@@ -576,7 +576,7 @@ class RegionShardStore:
                     cancel_event=cancel_event,
                 )
             else:
-                synthesizer = synthesizer or RackRunSynthesizer()
+                synthesizer = synthesizer or RackRunSynthesizer(policy=self.config.policy)
                 for index, task in enumerate(tasks):
                     if cancel_event is not None and cancel_event.is_set():
                         raise WorkerCancelled(index, len(tasks))
@@ -605,6 +605,11 @@ class RegionShardStore:
                 "runs_per_rack": self.config.runs_per_rack,
                 "hours": self.config.hours,
                 "seed": self.config.seed,
+                # Human-auditable record of the sharing policy the store
+                # was generated under; identity-wise the policy is
+                # already inside dataset_key (and the directory name),
+                # so stores for different policies can never collide.
+                "policy": json.loads(self.config.policy.canonical_json()),
             },
             "rack_names": [plan.workload.rack for plan in plans],
             "workloads_file": "workloads.pkl",

@@ -116,6 +116,7 @@ def build_manifest(
             "hours": fleet_config.hours,
             "seed": fleet_config.seed,
             "jobs": fleet_config.jobs,
+            "policy": fleet_config.policy.canonical_json(),
             "cache_dir": cache_dir,
             "store_dir": store_dir,
             "shard_racks": shard_racks,
@@ -261,6 +262,7 @@ def build_service_metrics(
             "hours": fleet_config.hours,
             "seed": fleet_config.seed,
             "jobs": fleet_config.jobs,
+            "policy": fleet_config.policy.canonical_json(),
             "cache_dir": cache_dir,
             "store_dir": store_dir,
             "shard_racks": shard_racks,

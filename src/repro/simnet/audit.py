@@ -27,6 +27,12 @@ Laws continuously checked while enabled:
   auditor's high-water mark of time.
 * **buffer.admission-split** — an accepted admission's dedicated and
   shared charges sum to the packet size.
+* **buffer.policy-limit** — every admission decision is consistent with
+  an independent re-evaluation of the buffer's sharing policy (any
+  registered :class:`~repro.fleet.policies.SharingPolicy`, not just the
+  dynamic threshold): accepted shared charges fit under the recomputed
+  limit, limit rejections truly exceed it, and the rejection reason
+  names the active policy.
 * **buffer.shared-occupancy-sync** — the pool's reported
   ``shared_occupancy`` equals the sum of outstanding shared charges
   (``Q(t) = Σ per-queue shared_used``) and never goes negative.
@@ -72,6 +78,8 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from ..errors import InvariantViolation
 
@@ -434,6 +442,24 @@ class InvariantAuditor(AuditTap):
             expected=shadow.discarded_total,
         )
 
+    def _buffer_policy_limit(
+        self, buffer: "SharedBuffer", pool_used: int, queue_shared: int, queue_id: str
+    ) -> float:
+        """Re-evaluate the buffer's sharing policy from shadow state.
+
+        Uses the auditor's own (pre-decision) occupancy shadows rather
+        than the buffer's reported state, so a buffer that corrupted its
+        accounting *and* its threshold together still trips the law.
+        """
+        limit = buffer.policy.limits(
+            float(buffer.config.shared_bytes),
+            np.array([float(pool_used)]),
+            np.array([0]),
+            np.array([float(queue_shared)]),
+            np.array([float(buffer.queue_active_steps(queue_id))]),
+        )
+        return float(limit[0])
+
     def on_admit(
         self, buffer: "SharedBuffer", queue_id: str, size: int, admission: "BufferAdmission"
     ) -> None:
@@ -449,6 +475,19 @@ class InvariantAuditor(AuditTap):
                     expected=size,
                     detail="dedicated + shared charges must equal the packet size",
                 )
+                if admission.shared_bytes > 0:
+                    pre_queue = shadow.shared.get(queue_id, 0)
+                    limit = self._buffer_policy_limit(
+                        buffer, shadow.shared_total, pre_queue, queue_id
+                    )
+                    self._check(
+                        pre_queue + admission.shared_bytes <= limit,
+                        component=f"buffer[{queue_id}]",
+                        law="buffer.policy-limit",
+                        observed=pre_queue + admission.shared_bytes,
+                        expected=f"<= {limit:.0f} under {buffer.policy.name}",
+                        detail="accepted shared charge exceeds the policy's limit",
+                    )
                 shadow.dedicated[queue_id] = (
                     shadow.dedicated.get(queue_id, 0) + admission.dedicated_bytes
                 )
@@ -465,6 +504,33 @@ class InvariantAuditor(AuditTap):
                     expected=(0, 0),
                     detail="a rejected admission must charge nothing",
                 )
+                if admission.reason.startswith("over "):
+                    self._check(
+                        buffer.policy.name in admission.reason,
+                        component=f"buffer[{queue_id}]",
+                        law="buffer.policy-limit",
+                        observed=admission.reason,
+                        expected=f"reason naming policy {buffer.policy.name!r}",
+                        detail="limit rejection must name the active policy",
+                    )
+                    cap = int(buffer.config.dedicated_bytes_per_queue)
+                    dedicated_free = max(cap - shadow.dedicated.get(queue_id, 0), 0)
+                    from_shared = size - min(size, dedicated_free)
+                    pre_queue = shadow.shared.get(queue_id, 0)
+                    limit = self._buffer_policy_limit(
+                        buffer, shadow.shared_total, pre_queue, queue_id
+                    )
+                    self._check(
+                        from_shared > 0 and pre_queue + from_shared > limit,
+                        component=f"buffer[{queue_id}]",
+                        law="buffer.policy-limit",
+                        observed=pre_queue + from_shared,
+                        expected=f"> {limit:.0f} under {buffer.policy.name}",
+                        detail=(
+                            "policy-limit rejection, but the shared charge fits "
+                            "under the recomputed limit"
+                        ),
+                    )
                 shadow.discarded_total += size
             self._check_buffer_sync(buffer, shadow, queue_id)
 

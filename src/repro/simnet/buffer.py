@@ -1,13 +1,19 @@
-"""Shared-memory switch buffer with dynamic-threshold sharing.
+"""Shared-memory switch buffer with policy-governed sharing.
 
-Section 2.1: the buffer is shared across all interfaces; each queue's
-instantaneous limit follows Choudhury-Hahne dynamic thresholds:
+Section 2.1: the buffer is shared across all interfaces; by default each
+queue's instantaneous limit follows Choudhury-Hahne dynamic thresholds:
 
     T(t) = alpha * (B - Q(t))
 
 where ``B`` is the shared buffer size and ``Q(t)`` the current total
 shared occupancy.  With ``S`` queues simultaneously at their limit, the
 fixed point is ``T = alpha*B / (1 + alpha*S)`` — Figure 1.
+
+The admission rule is *delegated*: any
+:class:`repro.fleet.policies.SharingPolicy` — the same objects the
+fluid model ablates — can govern this buffer, so packet-level and fluid
+experiments share one policy zoo.  The default remains DT at the
+config's alpha, bit-identical to the pre-policy-axis behaviour.
 
 This class models **one quadrant** of the ToR buffer (Section 3: the
 16 MB buffer is divided into four 4 MB quadrants; an egress queue maps
@@ -19,8 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import BufferConfig
 from ..errors import SimulationError
+from ..fleet.policies import DynamicThresholdPolicy, SharingPolicy
 from .audit import active_tap
 
 
@@ -44,6 +53,9 @@ class _QueueState:
     discarded_packets: int = 0
     discarded_bytes: int = 0
     admitted_bytes: int = 0
+    #: Consecutive :meth:`SharedBuffer.tick` steps this queue has held
+    #: bytes — the activity clock flow-aware policies key on.
+    active_steps: int = 0
 
     @property
     def occupancy(self) -> int:
@@ -51,10 +63,23 @@ class _QueueState:
 
 
 class SharedBuffer:
-    """One dynamically shared buffer pool (a ToR quadrant)."""
+    """One shared buffer pool (a ToR quadrant) under a sharing policy."""
 
-    def __init__(self, config: BufferConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BufferConfig | None = None,
+        policy: SharingPolicy | None = None,
+    ) -> None:
         self.config = config or BufferConfig()
+        #: Admission rule for the shared pool.  ``None`` keeps the
+        #: deployed Choudhury-Hahne dynamic threshold at the config's
+        #: alpha — the exact behaviour this class hard-coded before the
+        #: policy became pluggable.
+        self.policy = (
+            policy
+            if policy is not None
+            else DynamicThresholdPolicy(alpha=self.config.alpha)
+        )
         self._queues: dict[str, _QueueState] = {}
         self._shared_occupancy = 0
         self._audit = active_tap()
@@ -72,7 +97,7 @@ class SharedBuffer:
         except KeyError:
             raise SimulationError(f"unknown queue {queue_id!r}") from None
 
-    # -- dynamic threshold ---------------------------------------------------
+    # -- sharing policy ------------------------------------------------------
 
     @property
     def shared_occupancy(self) -> int:
@@ -80,10 +105,46 @@ class SharedBuffer:
         return self._shared_occupancy
 
     def threshold(self) -> float:
-        """T(t) = alpha * (B - Q(t)): the instantaneous per-queue limit on
-        shared-pool usage."""
+        """T(t) = alpha * (B - Q(t)): the classic dynamic threshold.
+
+        Kept as the Figure-1 reference formula; admission itself asks
+        :meth:`policy_limit`, which equals this number under the default
+        DT policy.
+        """
         free = self.config.shared_bytes - self._shared_occupancy
         return self.config.alpha * max(free, 0.0)
+
+    def policy_limit(self, queue_id: str) -> float:
+        """The active policy's shared-occupancy limit for ``queue_id``.
+
+        Evaluates the fluid-model policy interface on this quadrant's
+        state: one quadrant whose pool holds ``Q(t)``, the queue's own
+        shared charge, and its activity clock.  Every built-in policy
+        derives a queue's limit from exactly these quantities, so the
+        single-queue evaluation is exact (and O(1) per admission).
+        """
+        state = self._state(queue_id)
+        limit = self.policy.limits(
+            float(self.config.shared_bytes),
+            np.array([float(self._shared_occupancy)]),
+            np.array([0]),
+            np.array([float(state.shared_used)]),
+            np.array([float(state.active_steps)]),
+        )
+        return float(limit[0])
+
+    def tick(self) -> None:
+        """Advance the policy's activity clock by one step.
+
+        Queues holding bytes extend their consecutive-active streak;
+        idle queues reset to zero — the same rule the fluid model
+        applies per bucket.  Drivers that model time (the packet switch,
+        parity harnesses) call this once per step; purely event-driven
+        users may never call it, in which case every queue stays in the
+        "fresh burst" class.
+        """
+        for state in self._queues.values():
+            state.active_steps = state.active_steps + 1 if state.occupancy > 0 else 0
 
     def active_queues(self) -> int:
         """Queues currently holding any buffered bytes."""
@@ -92,13 +153,17 @@ class SharedBuffer:
     def queue_occupancy(self, queue_id: str) -> int:
         return self._state(queue_id).occupancy
 
+    def queue_active_steps(self, queue_id: str) -> int:
+        """Consecutive ticks ``queue_id`` has held bytes."""
+        return self._state(queue_id).active_steps
+
     # -- admission / release --------------------------------------------------
 
     def admit(self, queue_id: str, size: int) -> BufferAdmission:
         """Offer a packet of ``size`` bytes to ``queue_id``.
 
         Admission is atomic: dedicated space is consumed first; the
-        remainder must fit under the queue's dynamic threshold *and* in
+        remainder must fit under the queue's policy limit *and* in
         the remaining shared pool, else the whole packet is discarded.
         """
         if size <= 0:
@@ -110,13 +175,14 @@ class SharedBuffer:
         from_shared = size - from_dedicated
 
         if from_shared > 0:
-            threshold = self.threshold()
+            limit = self.policy_limit(queue_id)
             pool_free = self.config.shared_bytes - self._shared_occupancy
-            if state.shared_used + from_shared > threshold:
+            if state.shared_used + from_shared > limit:
                 state.discarded_packets += 1
                 state.discarded_bytes += size
                 admission = BufferAdmission(
-                    False, reason=f"over dynamic threshold ({threshold:.0f}B)"
+                    False,
+                    reason=f"over {self.policy.name} limit ({limit:.0f}B)",
                 )
                 self._audit.on_admit(self, queue_id, size, admission)
                 return admission

@@ -3,6 +3,7 @@ failure isolation, and manifest schema guarantees."""
 
 import json
 
+import pytest
 
 from repro import units
 from repro.experiments import cli, orchestrator
@@ -123,6 +124,41 @@ class TestRunFailureIsolation:
     def test_unknown_experiment_exits_2(self, capsys):
         assert cli.main(["run", "no-such-figure"] + FAST_ARGS) == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestPolicyFlag:
+    def test_policy_recorded_in_manifest(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "manifest.json")
+        assert cli.main(
+            ["run", "fig1", "--manifest", manifest_path,
+             "--policy", "delay-driven:target_delay_steps=3"] + FAST_ARGS
+        ) == 0
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert json.loads(manifest["config"]["policy"]) == {
+            "name": "delay-driven", "params": {"target_delay_steps": 3},
+        }
+
+    def test_default_policy_recorded_when_flag_absent(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "manifest.json")
+        assert cli.main(["run", "fig1", "--manifest", manifest_path] + FAST_ARGS) == 0
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert json.loads(manifest["config"]["policy"])["name"] == "dynamic-threshold"
+
+    def test_unknown_policy_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["run", "fig1", "--policy", "bogus"] + FAST_ARGS)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown sharing policy" in err
+        assert "registered:" in err
+
+    def test_unknown_policy_param_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["run", "fig1", "--policy", "flow-aware:tails=3"] + FAST_ARGS)
+        assert exc.value.code == 2
+        assert "does not take parameter" in capsys.readouterr().err
 
 
 class TestExpJobsParity:

@@ -12,11 +12,19 @@ import pytest
 from repro import units
 from repro.errors import SimulationError
 from repro.fleet.buffermodel import FluidBufferModel
-from repro.fleet.policies import SharingPolicy, standard_policies
+from repro.fleet.policies import (
+    SharingPolicy,
+    build_policy,
+    registered_policy_specs,
+)
 
 DRAIN = units.SERVER_LINK_RATE * units.ANALYSIS_INTERVAL
 
-ALL_POLICIES = standard_policies(queues_per_quadrant=2)
+# Every registered policy, at default parameters — a policy added to the
+# registry is automatically held to the serial/batch equivalence contract.
+ALL_POLICIES = [
+    build_policy(spec, queues_per_quadrant=2) for spec in registered_policy_specs()
+]
 
 
 def make_batch(rng, runs=5, buckets=120, servers=6):

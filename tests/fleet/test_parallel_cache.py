@@ -259,11 +259,120 @@ class TestCacheHardening:
             assert dataset_cache_key(REGION_A, bumped) == base, name
 
     def test_key_bearing_fields_each_change_key(self):
+        from repro.config import PolicySpec
         from repro.fleet.cache import KEY_BEARING_FIELDS
 
         base = dataset_cache_key(REGION_A, CONFIG)
         for name in KEY_BEARING_FIELDS:
-            # hours cannot grow past a day; shrink it instead.
-            delta = -12 if name == "hours" else 1
-            bumped = dataclasses.replace(CONFIG, **{name: getattr(CONFIG, name) + delta})
+            if name == "policy":
+                # Not numeric: perturb by choosing a different policy.
+                bumped_value = PolicySpec(name="complete-sharing")
+            else:
+                # hours cannot grow past a day; shrink it instead.
+                delta = -12 if name == "hours" else 1
+                bumped_value = getattr(CONFIG, name) + delta
+            bumped = dataclasses.replace(CONFIG, **{name: bumped_value})
             assert dataset_cache_key(REGION_A, bumped) != base, name
+
+
+class TestPolicyCacheIdentity:
+    """The sharing policy is part of dataset identity — except at the
+    default, where it must be *omitted* so every pre-policy-axis cache
+    key (and dataset) stays bit-identical.  The hex literals below were
+    captured on the commit before the policy refactor; they are the
+    proof the default path is a no-op."""
+
+    PRE_REFACTOR_KEY_SMALL = (
+        "0edcda6ae5e52586d63a183219998ecb7a37f8564c21e14e2082f6b831877204"
+    )
+    PRE_REFACTOR_KEY_DEFAULT = (
+        "b45e67c3f6b6ec7a3959c1712b5a9ba9f2245e09a5e8d20966c8b07396a3952f"
+    )
+
+    def test_default_keys_bit_identical_to_pre_refactor(self):
+        assert dataset_cache_key(REGION_A, CONFIG) == self.PRE_REFACTOR_KEY_SMALL
+        assert (
+            dataset_cache_key(REGION_A, FleetConfig()) == self.PRE_REFACTOR_KEY_DEFAULT
+        )
+
+    def test_explicit_default_spec_is_the_same_key(self):
+        from repro.config import PolicySpec
+
+        explicit = dataclasses.replace(CONFIG, policy=PolicySpec())
+        assert dataset_cache_key(REGION_A, explicit) == self.PRE_REFACTOR_KEY_SMALL
+
+    def test_each_registered_policy_gets_its_own_key(self):
+        from repro.fleet.policies import registered_policy_specs
+
+        keys = {
+            dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, policy=spec))
+            for spec in registered_policy_specs()
+        }
+        assert len(keys) == len(registered_policy_specs())
+
+    def test_policy_params_are_key_bearing(self):
+        from repro.config import PolicySpec
+
+        tuned = PolicySpec(name="delay-driven", params=(("target_delay_steps", 3.0),))
+        default = PolicySpec(name="delay-driven")
+        assert dataset_cache_key(
+            REGION_A, dataclasses.replace(CONFIG, policy=tuned)
+        ) != dataset_cache_key(REGION_A, dataclasses.replace(CONFIG, policy=default))
+
+
+class TestDefaultPolicyDatasetNoOp:
+    """End-to-end default no-op: the generated dataset itself (not just
+    the key) is bit-identical to the pre-refactor pipeline, pinned by a
+    content digest and the Table-1 row captured before the refactor."""
+
+    PRE_REFACTOR_FINGERPRINT = (
+        "07d350bd7207905740b5192c5dcbd8e929cbec82fe018e2e29f6cac450b45946"
+    )
+
+    @staticmethod
+    def _feed(h, value, tag=""):
+        import numpy as np
+
+        feed = TestDefaultPolicyDatasetNoOp._feed
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for f in dataclasses.fields(value):
+                feed(h, getattr(value, f.name), tag + "." + f.name)
+        elif isinstance(value, np.ndarray):
+            h.update(tag.encode())
+            h.update(str(value.dtype).encode())
+            h.update(value.tobytes())
+        elif isinstance(value, (list, tuple)):
+            for i, v in enumerate(value):
+                feed(h, v, f"{tag}[{i}]")
+        elif isinstance(value, dict):
+            for k in sorted(value, key=str):
+                feed(h, value[k], f"{tag}.{k}")
+        elif isinstance(value, (int, float, np.floating, np.integer)):
+            h.update(tag.encode())
+            h.update(repr(value).encode())
+        elif isinstance(value, str):
+            h.update(tag.encode())
+            h.update(value.encode())
+        elif value is None:
+            h.update(tag.encode())
+            h.update(b"None")
+        else:
+            raise TypeError(f"{tag}: {type(value)}")
+
+    def test_dataset_content_digest_pinned(self, serial_rega):
+        import hashlib
+
+        h = hashlib.sha256()
+        for summary in serial_rega.summaries:
+            self._feed(h, summary, "summary")
+        assert h.hexdigest() == self.PRE_REFACTOR_FINGERPRINT
+
+    def test_table1_row_pinned(self, serial_rega):
+        row = serial_rega.table1_row()
+        assert (
+            row.runs,
+            row.server_runs,
+            row.bursty_server_runs,
+            row.bursts,
+            row.racks,
+        ) == (6, 552, 266, 11034, 3)

@@ -1,0 +1,138 @@
+"""SharedBuffer under every registered sharing policy.
+
+The packet-level buffer must accept any policy the registry can build,
+stay within the auditor's conservation laws under all of them, produce
+rejection reasons that name the active policy and its computed limit,
+and — under the default policy — behave bit-identically to the classic
+hard-coded dynamic threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BufferConfig, PolicySpec
+from repro.fleet.policies import (
+    DynamicThresholdPolicy,
+    StaticPartitionPolicy,
+    build_policy,
+    registered_policy_specs,
+)
+from repro.simnet.audit import audited
+from repro.simnet.buffer import SharedBuffer
+
+ALL_SPECS = registered_policy_specs()
+
+CONFIG = BufferConfig(
+    shared_bytes=1000,
+    dedicated_bytes_per_queue=0.0,
+    alpha=1.0,
+    ecn_threshold_bytes=100,
+)
+
+
+def drive(buffer: SharedBuffer, queues: int = 4, rng_seed: int = 3) -> None:
+    """A deterministic mixed workload: admits, releases, ticks, resets."""
+    rng = np.random.default_rng(rng_seed)
+    names = [f"q{i}" for i in range(queues)]
+    for name in names:
+        buffer.register_queue(name)
+    held: dict[str, list] = {name: [] for name in names}
+    for step in range(400):
+        name = names[int(rng.integers(queues))]
+        op = int(rng.integers(10))
+        if op < 6:
+            admission = buffer.admit(name, int(rng.integers(1, 400)))
+            if admission.accepted:
+                held[name].append(admission)
+        elif op < 8 and held[name]:
+            buffer.release(name, held[name].pop(0))
+        elif op == 8:
+            buffer.tick()
+        else:
+            buffer.reset_counters()
+    for name, admissions in held.items():
+        for admission in admissions:
+            buffer.release(name, admission)
+
+
+class TestBufferUnderEveryPolicy:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_audit_clean_under_policy(self, spec):
+        policy = build_policy(spec, queues_per_quadrant=4)
+        with audited() as auditor:
+            buffer = SharedBuffer(CONFIG, policy=policy)
+            drive(buffer)
+            assert buffer.shared_occupancy == 0
+        assert auditor.violations == []
+        assert auditor.events > 0
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_policy_limit_matches_policy_kernel(self, spec):
+        policy = build_policy(spec, queues_per_quadrant=4)
+        buffer = SharedBuffer(CONFIG, policy=policy)
+        buffer.register_queue("q0")
+        buffer.register_queue("q1")
+        buffer.admit("q0", 300)
+        expected = policy.limits(
+            1000.0, np.array([300.0]), np.array([0]), np.array([0.0]), np.array([0.0])
+        )[0]
+        assert buffer.policy_limit("q1") == expected
+
+
+class TestRejectionReasons:
+    def test_reason_names_policy_and_limit(self):
+        policy = StaticPartitionPolicy(queues_per_quadrant=4)
+        buffer = SharedBuffer(CONFIG, policy=policy)
+        buffer.register_queue("q0")
+        rejected = buffer.admit("q0", 600)  # slice is 1000/4 = 250
+        assert not rejected.accepted
+        assert rejected.reason == "over static-partition limit (250B)"
+
+    def test_default_reason_names_dynamic_threshold(self):
+        buffer = SharedBuffer(CONFIG)
+        buffer.register_queue("q0")
+        buffer.register_queue("q1")
+        buffer.admit("q0", 800)  # pool at 800 -> DT limit 200
+        rejected = buffer.admit("q1", 500)
+        assert not rejected.accepted
+        assert rejected.reason == "over dynamic-threshold limit (200B)"
+
+    def test_pool_exhaustion_reason_unchanged(self):
+        buffer = SharedBuffer(CONFIG, policy=build_policy(PolicySpec("complete-sharing")))
+        buffer.register_queue("q0")
+        buffer.register_queue("q1")
+        assert buffer.admit("q0", 900).accepted
+        # q1 is within its (complete-sharing) limit; only 100 B remain.
+        rejected = buffer.admit("q1", 200)
+        assert rejected.reason == "shared pool exhausted"
+
+
+class TestDefaultEquivalence:
+    def test_default_policy_is_dt_at_config_alpha(self):
+        buffer = SharedBuffer(BufferConfig(alpha=2.5))
+        assert isinstance(buffer.policy, DynamicThresholdPolicy)
+        assert buffer.policy.alpha == 2.5
+
+    def test_policy_limit_equals_threshold_under_default(self):
+        buffer = SharedBuffer(CONFIG)
+        buffer.register_queue("q0")
+        for size in (100, 250, 90):
+            buffer.admit("q0", size)
+            assert buffer.policy_limit("q0") == buffer.threshold()
+
+    def test_default_trace_identical_to_explicit_dt(self):
+        """The pluggable path with an explicit DT policy reproduces the
+        default buffer's admissions decision-for-decision."""
+        default = SharedBuffer(CONFIG)
+        explicit = SharedBuffer(CONFIG, policy=DynamicThresholdPolicy(alpha=CONFIG.alpha))
+        rng = np.random.default_rng(11)
+        for buffer in (default, explicit):
+            buffer.register_queue("q0")
+            buffer.register_queue("q1")
+        for _ in range(200):
+            name = f"q{int(rng.integers(2))}"
+            size = int(rng.integers(1, 300))
+            first = default.admit(name, size)
+            second = explicit.admit(name, size)
+            assert first == second
+        assert default.shared_occupancy == explicit.shared_occupancy

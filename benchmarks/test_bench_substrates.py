@@ -68,6 +68,47 @@ def test_bench_fluid_batch(benchmark):
     assert serial_s / batch_s >= 2.0
 
 
+def test_bench_native_kernel(benchmark):
+    """The native (numba-jitted) fluid kernel vs the numpy batch oracle.
+
+    Skipped where numba is not installed (``pip install .[native]``);
+    the CI with-numba leg runs it with ``--require`` so the gate cannot
+    silently vanish there.  The asserted floor is the ISSUE's
+    acceptance bar: >=5x over the numpy ``run_batch`` on the same
+    (16, 1850, 40) batch, outputs bit-identical."""
+    import pytest
+
+    from repro.fleet.kernels import NATIVE_AVAILABLE, warm_kernels
+
+    if not NATIVE_AVAILABLE:
+        pytest.skip("numba not installed; native kernel unavailable")
+
+    runs, buckets, servers = 16, 1850, 40
+    rng = np.random.default_rng(0)
+    demand = rng.exponential(0.15 * DRAIN, (runs, buckets, servers))
+    demand[rng.random((runs, buckets, servers)) < 0.02] = 2.0 * DRAIN
+    persistence = np.full((runs, servers), 0.05)
+
+    numpy_model = FluidBufferModel(servers=servers, kernel="numpy")
+    native_model = FluidBufferModel(servers=servers, kernel="native")
+    assert native_model.effective_kernel == "native"
+    compile_s = warm_kernels()
+
+    start = time.perf_counter()
+    oracle = numpy_model.run_batch(demand, persistence)
+    numpy_s = time.perf_counter() - start
+
+    native = benchmark(native_model.run_batch, demand, persistence)
+    native_s = benchmark.stats.stats.mean
+
+    assert np.array_equal(native.delivered, oracle.delivered)
+    assert np.array_equal(native.rate_multiplier, oracle.rate_multiplier)
+    benchmark.extra_info["numpy_s"] = numpy_s
+    benchmark.extra_info["compile_s"] = compile_s
+    benchmark.extra_info["speedup"] = numpy_s / native_s
+    assert numpy_s / native_s >= 5.0
+
+
 def test_bench_policy_batch(benchmark):
     """The batched fluid kernel across the non-DT sharing-policy zoo.
 

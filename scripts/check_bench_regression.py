@@ -10,6 +10,14 @@ one file are reported but never fatal, so adding or retiring a
 benchmark does not require regenerating the baseline in the same
 commit.
 
+Ratios are compared only when the two runs come from the same machine
+fingerprint (CPU brand + logical core count, as pytest-benchmark's
+``machine_info`` records them): the committed baseline is from a 1-core
+VM, and cross-machine ratios are meaningless rather than noisy.  On a
+fingerprint mismatch the ratio gates are skipped with a warning;
+``--require`` presence checks still apply (a gated benchmark must run
+and pass its own asserted floor wherever CI lands).
+
 Usage::
 
     python scripts/check_bench_regression.py BENCH_substrates.json bench_new.json
@@ -31,6 +39,18 @@ def load_means(path: Path) -> dict[str, float]:
     for bench in data.get("benchmarks", []):
         means[bench["name"]] = float(bench["stats"]["mean"])
     return means
+
+
+def machine_fingerprint(path: Path) -> tuple[str, int] | None:
+    """(cpu brand, logical core count) from ``machine_info``, or None
+    when the file predates fingerprinting / was stripped."""
+    data = json.loads(path.read_text())
+    cpu = data.get("machine_info", {}).get("cpu", {})
+    brand = cpu.get("brand_raw")
+    count = cpu.get("count")
+    if not brand or not isinstance(count, int):
+        return None
+    return (str(brand), count)
 
 
 def main() -> int:
@@ -71,6 +91,18 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+
+    base_machine = machine_fingerprint(args.baseline)
+    current_machine = machine_fingerprint(args.current)
+    if base_machine is None or current_machine is None or base_machine != current_machine:
+        print(
+            "warning: machine fingerprint mismatch "
+            f"(baseline {base_machine}, current {current_machine}); "
+            "cross-machine ratios are meaningless — skipping slowdown "
+            "gates (required-benchmark presence already checked)",
+            file=sys.stderr,
+        )
+        return 0
 
     failures = []
     for name in sorted(baseline.keys() | current.keys()):

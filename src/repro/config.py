@@ -245,6 +245,12 @@ class PolicySpec:
 DEFAULT_POLICY_SPEC = PolicySpec()
 
 
+#: Valid values of :attr:`FleetConfig.kernel`.  Lives here (rather than
+#: in :mod:`repro.fleet.kernels`) so config validation never imports the
+#: fleet package.
+KERNEL_CHOICES = ("auto", "numpy", "native")
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """Scale of the synthetic region-day dataset (Section 5).
@@ -294,6 +300,15 @@ class FleetConfig:
     #: :mod:`repro.fleet.cache`; the default DT spec is keyed as the
     #: pre-policy-axis payload so existing caches stay valid).
     policy: PolicySpec = field(default_factory=PolicySpec)
+    #: Fluid-model kernel implementation: ``auto`` picks the native
+    #: (numba-jitted) kernel when numba imports and the policy has a
+    #: native limit rule, falling back to numpy otherwise; ``numpy``
+    #: and ``native`` pin the choice (``native`` warns and falls back
+    #: when numba is unavailable).  Execution-only like ``jobs``: both
+    #: kernels are bit-identical (the numpy path is the oracle, pinned
+    #: by the kernel-parity suites), so the axis never feeds the
+    #: dataset cache key.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.racks_per_region < 0:
@@ -308,6 +323,10 @@ class FleetConfig:
             raise ConfigError("fluid batch must contain at least one run")
         if not isinstance(self.policy, PolicySpec):
             raise ConfigError("policy must be a PolicySpec")
+        if self.kernel not in KERNEL_CHOICES:
+            raise ConfigError(
+                f"kernel must be one of {KERNEL_CHOICES}, got {self.kernel!r}"
+            )
 
 
 #: The configuration used throughout the paper's analysis.

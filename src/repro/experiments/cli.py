@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..config import FleetConfig
+from ..config import KERNEL_CHOICES, FleetConfig
 from .context import ExperimentContext
 from .registry import EXPERIMENTS, ordered_ids
 
@@ -207,6 +207,13 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
              "bit-identical to the default pickled transport (which "
              "remains the exactness oracle), cheaper at scale",
     )
+    parser.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="fluid-model kernel: 'native' is the numba-jitted time "
+             "loop, 'numpy' the vectorized oracle, 'auto' (default) "
+             "native when numba is installed; bit-identical datasets "
+             "either way, so the choice never affects the cache key",
+    )
 
 
 def _cache_dir(args) -> str | None:
@@ -306,6 +313,7 @@ def _context(args, verbose: bool = False) -> ExperimentContext:
             seed=args.seed,
             jobs=args.jobs,
             shm_transfer=getattr(args, "shm_transfer", False),
+            kernel=getattr(args, "kernel", "auto"),
             **({"policy": policy} if policy is not None else {}),
         ),
         cache_dir=_cache_dir(args),
@@ -356,6 +364,7 @@ def _serve(args) -> int:
                 seed=args.seed,
                 jobs=args.jobs,
                 shm_transfer=args.shm_transfer,
+                kernel=getattr(args, "kernel", "auto"),
                 **({"policy": args.policy} if args.policy is not None else {}),
             ),
             cache_dir=_cache_dir(args),

@@ -38,6 +38,8 @@ import numpy as np
 from .. import units
 from ..config import BufferConfig
 from ..errors import SimulationError
+from .kernels import resolve_kernel
+from .kernels import fluid as _native
 from .policies import DynamicThresholdPolicy, SharingPolicy
 
 
@@ -124,6 +126,7 @@ class FluidBufferModel:
         policy: SharingPolicy | None = None,
         responsive_sources: bool = True,
         retransmit_losses: bool = True,
+        kernel: str = "auto",
     ) -> None:
         if servers <= 0:
             raise SimulationError("need at least one server")
@@ -165,6 +168,68 @@ class FluidBufferModel:
         #: bucket or two, while a fresh pool (alpha ~ 0) barely reacts —
         #: exactly the asymmetry behind the Section 8.1 loss inversion.
         self.windows_per_step = max(1.0, step / rtt / 4.0)
+        #: Resolved kernel setting (``"numpy"`` or ``"native"``); the
+        #: kernel that actually runs also depends on whether the policy
+        #: has a native limit rule (see :attr:`effective_kernel`).
+        #: Execution detail only: both kernels are bit-identical.
+        self.kernel_choice = resolve_kernel(kernel)
+
+    @property
+    def native_supported(self) -> bool:
+        """True when this model's policy has a native limit rule."""
+        return self.policy.native_kernel_id is not None
+
+    @property
+    def effective_kernel(self) -> str:
+        """The kernel :meth:`run`/:meth:`run_batch` will execute:
+        ``"native"`` only when numba resolved *and* the policy has a
+        native limit rule; otherwise the numpy oracle."""
+        if self.kernel_choice == "native" and self.native_supported:
+            return "native"
+        return "numpy"
+
+    def _native_outputs(
+        self,
+        demand: np.ndarray,
+        gap_steps: np.ndarray,
+        initial_multiplier: np.ndarray,
+        initial_alpha: np.ndarray,
+    ) -> np.ndarray:
+        """Run the native kernel over validated ``(runs, buckets,
+        servers)`` demand; returns the packed ``(6, ...)`` output array."""
+        cfg = self.buffer_config
+        drain = self.drain_per_step
+        params = np.zeros(_native.MAX_POLICY_PARAMS)
+        params[:] = self.policy.native_kernel_params()
+        consts = np.array(
+            [
+                float(cfg.dedicated_bytes_per_queue),
+                float(cfg.shared_bytes),
+                float(cfg.ecn_threshold_bytes),
+                drain,
+                self.max_offered_factor * drain,
+                self.activity_threshold_fraction * drain,
+                self.dctcp_gain,
+                self.additive_increase,
+                1.0 if self.responsive_sources else 0.0,
+                1.0 if self.retransmit_losses else 0.0,
+            ]
+        )
+        iconsts = np.array(
+            [self.retx_delay_steps, self.num_quadrants, self.policy.native_kernel_id],
+            dtype=np.int64,
+        )
+        return _native.fluid_run_batch(
+            demand=np.ascontiguousarray(demand),
+            gap_steps=np.asarray(gap_steps, dtype=np.float64),
+            initial_multiplier=initial_multiplier,
+            initial_alpha=initial_alpha,
+            quadrant=np.ascontiguousarray(self.quadrant, dtype=np.int64),
+            params=params,
+            consts=consts,
+            iconsts=iconsts,
+            windows_per_step=self.windows_per_step,
+        )
 
     def run(
         self,
@@ -201,6 +266,30 @@ class FluidBufferModel:
         max_offered = self.max_offered_factor * drain
         activity_floor = self.activity_threshold_fraction * drain
         gap_steps = np.maximum(persistence / self.step, 1.0)
+
+        if self.effective_kernel == "native":
+            out = self._native_outputs(
+                demand[None],
+                gap_steps,
+                initial_multiplier=(
+                    np.ones(self.servers)
+                    if initial_multiplier is None
+                    else np.asarray(initial_multiplier, dtype=np.float64)
+                ),
+                initial_alpha=(
+                    np.zeros(self.servers)
+                    if initial_alpha is None
+                    else np.asarray(initial_alpha, dtype=np.float64)
+                ),
+            )
+            return FluidBufferResult(
+                delivered=out[0, 0],
+                delivered_retx=out[1, 0],
+                ecn_marked=out[2, 0],
+                dropped=out[3, 0],
+                queue_occupancy=out[4, 0],
+                rate_multiplier=out[5, 0],
+            )
 
         # State
         q_fresh = np.zeros(self.servers)
@@ -431,6 +520,23 @@ class FluidBufferModel:
         max_offered = self.max_offered_factor * drain
         activity_floor = self.activity_threshold_fraction * drain
         gap_steps = np.maximum(persistence / self.step, 1.0)
+
+        if self.effective_kernel == "native":
+            out = self._native_outputs(
+                demand,
+                gap_steps,
+                initial_multiplier=self._batch_state(initial_multiplier, runs, 1.0),
+                initial_alpha=self._batch_state(initial_alpha, runs, 0.0),
+            )
+            return FluidBufferBatchResult(
+                delivered=out[0],
+                delivered_retx=out[1],
+                ecn_marked=out[2],
+                dropped=out[3],
+                queue_occupancy=out[4],
+                rate_multiplier=out[5],
+                lengths=lengths_arr,
+            )
 
         # State, one row per run.
         q_fresh = np.zeros((runs, self.servers))

@@ -232,7 +232,7 @@ def iter_rack_day(
     metrics: Metrics | None = None,
 ) -> Iterator[RunSummary]:
     """Synthesize and reduce one rack's runs, one fluid batch at a time."""
-    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy)
+    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy, kernel=config.kernel)
     metrics = metrics if metrics is not None else Metrics()
     items = _plan_items(plan, config)
     for start in range(0, len(items), config.fluid_batch):
@@ -277,7 +277,7 @@ def iter_plan_summaries(
 ) -> Iterator[tuple[RunSummary, RackWorkload]]:
     """:func:`iter_region_summaries` over an explicit plan list (the
     shard store synthesizes hour-band slices of a region plan)."""
-    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy)
+    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy, kernel=config.kernel)
     metrics = metrics if metrics is not None else Metrics()
     total = sum(len(plan.hours) for plan in plans)
     done = 0

@@ -1,0 +1,29 @@
+"""Optional numba import, isolated so the kernels never hard-require it.
+
+``numba`` is an optional dependency (``pip install repro[native]``).
+When it imports, :func:`njit_cached` is ``numba.njit(cache=True,
+fastmath=False)`` — on-disk compilation cache so worker pools pay the
+JIT once per machine, and strict IEEE semantics because the native
+kernel's contract is *bit-exact* equality with the numpy oracle.  When
+numba is absent the decorator is the identity, so every kernel remains
+an ordinary Python function: the parity suites exercise the exact code
+numba would compile, on machines (and CI legs) with no numba at all.
+"""
+
+from __future__ import annotations
+
+try:
+    from numba import njit as _njit
+
+    NATIVE_AVAILABLE = True
+    NUMBA_IMPORT_ERROR: str | None = None
+
+    def njit_cached(func):
+        return _njit(cache=True, fastmath=False)(func)
+
+except Exception as exc:  # ImportError, or a broken numba install
+    NATIVE_AVAILABLE = False
+    NUMBA_IMPORT_ERROR = repr(exc)
+
+    def njit_cached(func):
+        return func

@@ -44,6 +44,7 @@ from ..errors import ConfigError, WorkerCancelled, WorkerCrashError, WorkerTaskE
 from ..obs.metrics import Metrics
 from ..workload.region import RegionSpec
 from .dataset import RackRunPlan, RegionDataset, plan_region, synthesize_rack_day
+from .kernels import consume_pending, pool_initializer
 from .rackrun import RackRunSynthesizer
 
 T = TypeVar("T")
@@ -80,6 +81,8 @@ def run_windowed(
     pool: Executor | None = None,
     retry_broken: bool = True,
     cancel_event: threading.Event | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> int:
     """Fan ``items`` out over a process pool with a shallow window.
 
@@ -90,9 +93,11 @@ def run_windowed(
     once.  Returns the number of items handled.
 
     When ``pool`` is None the substrate creates and owns a
-    ``ProcessPoolExecutor``; passing an executor (the service's
-    persistent pool) reuses it, in which case a broken pool is *not*
-    retried here — the pool's owner decides how to replace it.
+    ``ProcessPoolExecutor`` (``initializer``/``initargs`` run in each
+    worker at fork — kernel JIT warm-up lives there); passing an
+    executor (the service's persistent pool) reuses it, in which case a
+    broken pool is *not* retried here — the pool's owner decides how to
+    replace it — and the initializer is the pool owner's business.
 
     Failure semantics (see the module docstring): first task exception
     → cancel queued work, raise :class:`WorkerTaskError`; broken pool →
@@ -117,7 +122,11 @@ def run_windowed(
         owned: ProcessPoolExecutor | None = None
         executor = pool
         if executor is None:
-            owned = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+            owned = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=initializer,
+                initargs=initargs,
+            )
             executor = owned
         in_flight: dict[Future, int] = {}
         drained = False
@@ -204,6 +213,7 @@ def _rack_day_task(
     never as shared state.
     """
     worker_metrics = Metrics()
+    consume_pending(worker_metrics)  # pool-initializer JIT compile time
     summaries = synthesize_rack_day(plan, config, synthesizer, metrics=worker_metrics)
     return plan.rack_index, summaries, worker_metrics.snapshot()
 
@@ -298,6 +308,8 @@ def generate_region_dataset_parallel(
                 label=_plan_label,
                 pool=pool,
                 cancel_event=cancel_event,
+                initializer=pool_initializer,
+                initargs=(config.kernel,),
             )
     summaries = [summary for rack in per_rack for summary in (rack or [])]
     metrics.incr("dataset.generated_runs", len(summaries))

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..config import DEFAULT_POLICY_SPEC, PolicySpec
 from ..errors import ConfigError, SimulationError
+from .kernels import fluid as _native
 
 
 class SharingPolicy:
@@ -60,6 +61,20 @@ class SharingPolicy:
     #: per-run signature keep working through the :meth:`limits_batch`
     #: fallback loop.
     batch_limits = False
+
+    #: Id of this policy's limit rule in the native (numba-jitted) fluid
+    #: kernel (see :func:`repro.fleet.kernels.fluid._policy_limit`), or
+    #: ``None`` when the policy has none — the fluid model then runs the
+    #: whole rack on the numpy path (which evaluates :meth:`limits` per
+    #: bucket) regardless of the kernel setting.  Third-party policies
+    #: need not set this; the numpy path is always the semantic oracle.
+    native_kernel_id: int | None = None
+
+    def native_kernel_params(self) -> tuple[float, float, float, float]:
+        """This instance's parameters packed into the fixed-width float
+        vector the native limit rule reads (width
+        :data:`~repro.fleet.kernels.fluid.MAX_POLICY_PARAMS`)."""
+        return (0.0, 0.0, 0.0, 0.0)
 
     def limits(
         self,
@@ -136,11 +151,15 @@ class DynamicThresholdPolicy(SharingPolicy):
 
     name = "dynamic-threshold"
     batch_limits = True
+    native_kernel_id = _native.POLICY_DYNAMIC_THRESHOLD
 
     def __init__(self, alpha: float = 1.0) -> None:
         if alpha <= 0:
             raise SimulationError("alpha must be positive")
         self.alpha = alpha
+
+    def native_kernel_params(self):
+        return (self.alpha, 0.0, 0.0, 0.0)
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         free = np.maximum(shared_total - pool_used, 0.0)
@@ -153,11 +172,15 @@ class StaticPartitionPolicy(SharingPolicy):
 
     name = "static-partition"
     batch_limits = True
+    native_kernel_id = _native.POLICY_STATIC_PARTITION
 
     def __init__(self, queues_per_quadrant: int) -> None:
         if queues_per_quadrant <= 0:
             raise SimulationError("need at least one queue per quadrant")
         self.queues_per_quadrant = queues_per_quadrant
+
+    def native_kernel_params(self):
+        return (float(self.queues_per_quadrant), 0.0, 0.0, 0.0)
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         slice_bytes = shared_total / self.queues_per_quadrant
@@ -171,6 +194,7 @@ class CompleteSharingPolicy(SharingPolicy):
 
     name = "complete-sharing"
     batch_limits = True
+    native_kernel_id = _native.POLICY_COMPLETE_SHARING
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         shape = np.shape(queue_shared_used)[:-1] + (len(quadrant),)
@@ -189,12 +213,16 @@ class EnhancedDynamicThresholdPolicy(SharingPolicy):
 
     name = "enhanced-dt"
     batch_limits = True
+    native_kernel_id = _native.POLICY_ENHANCED_DT
 
     def __init__(self, alpha: float = 1.0, burst_fraction: float = 0.5) -> None:
         if alpha <= 0 or not 0 <= burst_fraction <= 1:
             raise SimulationError("invalid EDT parameters")
         self.alpha = alpha
         self.burst_fraction = burst_fraction
+
+    def native_kernel_params(self):
+        return (self.alpha, self.burst_fraction, 0.0, 0.0)
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         free = np.maximum(shared_total - pool_used, 0.0)[..., quadrant]
@@ -219,6 +247,7 @@ class FlowAwareThresholdPolicy(SharingPolicy):
 
     name = "flow-aware"
     batch_limits = True
+    native_kernel_id = _native.POLICY_FLOW_AWARE
 
     def __init__(
         self,
@@ -233,6 +262,9 @@ class FlowAwareThresholdPolicy(SharingPolicy):
         self.mice_alpha = mice_alpha
         self.elephant_alpha = elephant_alpha
         self.mice_steps = mice_steps
+
+    def native_kernel_params(self):
+        return (self.mice_alpha, self.elephant_alpha, float(self.mice_steps), 0.0)
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         free = np.maximum(shared_total - pool_used, 0.0)[..., quadrant]
@@ -267,6 +299,7 @@ class DelayDrivenSharingPolicy(SharingPolicy):
 
     name = "delay-driven"
     batch_limits = True
+    native_kernel_id = _native.POLICY_DELAY_DRIVEN
 
     def __init__(
         self,
@@ -287,6 +320,10 @@ class DelayDrivenSharingPolicy(SharingPolicy):
         self.alpha = alpha
         self.target_delay_steps = target_delay_steps
         self.drain_per_step = drain_per_step
+
+    def native_kernel_params(self):
+        # The same product limits() computes each call.
+        return (self.alpha, self.target_delay_steps * self.drain_per_step, 0.0, 0.0)
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         free = np.maximum(shared_total - pool_used, 0.0)[..., quadrant]
@@ -324,6 +361,7 @@ class SharedHeadroomPoolPolicy(SharingPolicy):
 
     name = "shared-headroom"
     batch_limits = True
+    native_kernel_id = _native.POLICY_SHARED_HEADROOM
 
     def __init__(
         self,
@@ -344,6 +382,14 @@ class SharedHeadroomPoolPolicy(SharingPolicy):
         self.alpha = alpha
         self.headroom_fraction = headroom_fraction
         self.oversubscription = oversubscription
+
+    def native_kernel_params(self):
+        return (
+            self.alpha,
+            self.headroom_fraction,
+            self.oversubscription,
+            float(self.queues_per_quadrant),
+        )
 
     def limits(self, shared_total, pool_used, quadrant, queue_shared_used, active_steps):
         headroom_total = self.headroom_fraction * shared_total

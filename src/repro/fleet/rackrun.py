@@ -20,6 +20,7 @@ from ..obs.metrics import Metrics
 from ..workload.region import RackWorkload
 from .buffermodel import FluidBufferModel, FluidBufferResult
 from .demand import DemandModel, ServerDemand
+from .kernels import POLICY_FALLBACK_COUNTER, consume_pending, warm_kernels
 from .policies import SharingPolicy, build_policy
 
 #: One entry of a synthesis batch: (workload, hour, rng-or-seed-leaf).
@@ -58,6 +59,7 @@ class RackRunSynthesizer:
         trimmed_buckets_std: int = 40,
         egress_echo: float = 0.18,
         policy: PolicySpec | None = None,
+        kernel: str = "auto",
     ) -> None:
         if trimmed_buckets_mean <= 0:
             raise SimulationError("run length must be positive")
@@ -76,6 +78,11 @@ class RackRunSynthesizer:
         self.policy = (
             policy if policy is not None and policy != DEFAULT_POLICY_SPEC else None
         )
+        #: Fluid-kernel setting (:data:`repro.config.KERNEL_CHOICES`)
+        #: forwarded to every fluid model this synthesizer builds.  The
+        #: string (not the resolved choice) is stored so pickled
+        #: synthesizers re-resolve numba availability in each worker.
+        self.kernel = kernel
 
     def _run_length(self, rng: np.random.Generator) -> int:
         """Post-trim run length (Section 5: average 1.85 s at 1 ms)."""
@@ -117,13 +124,19 @@ class RackRunSynthesizer:
         return self._assemble(workload, hour, rng, demand, result, buckets, start_time)
 
     def _fluid_model(self, workload: RackWorkload) -> FluidBufferModel:
-        return FluidBufferModel(
+        model = FluidBufferModel(
             servers=workload.placement.servers,
             buffer_config=workload.rack_config.buffer,
             line_rate=workload.rack_config.server_link_rate,
             step=self.sampling_interval,
             policy=self._policy_for(workload),
+            kernel=getattr(self, "kernel", "auto"),
         )
+        if model.effective_kernel == "native":
+            # Idempotent: a no-op after the pool initializer (or the
+            # first model) already compiled in this process.
+            warm_kernels()
+        return model
 
     def _policy_for(self, workload: RackWorkload) -> SharingPolicy | None:
         """Build the configured policy for one rack's geometry.
@@ -251,6 +264,10 @@ class RackRunSynthesizer:
         with metrics.span("synthesis/fluid"):
             for member_indices in groups.values():
                 model = self._fluid_model(prepared[member_indices[0]][0])
+                # Which kernel actually ran, next to the span's timing.
+                metrics.incr(f"synthesis.fluid.kernel.{model.effective_kernel}")
+                if model.kernel_choice == "native" and not model.native_supported:
+                    metrics.incr(POLICY_FALLBACK_COUNTER)
                 lengths = np.array(
                     [prepared[i][3] for i in member_indices], dtype=np.int64
                 )
@@ -291,4 +308,7 @@ class RackRunSynthesizer:
                     )
                 )
         metrics.incr("synthesis.batched_runs", len(out))
+        # Kernel counters staged outside a metrics scope (import-time
+        # numba probe, pool-initializer compile time) surface here.
+        consume_pending(metrics)
         return out

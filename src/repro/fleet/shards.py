@@ -72,6 +72,7 @@ from .dataset import (
     plan_region,
     run_rng,
 )
+from .kernels import consume_pending, pool_initializer
 from .rackrun import BatchItem, RackRunSynthesizer
 
 logger = logging.getLogger(__name__)
@@ -315,7 +316,7 @@ def synthesize_shard(
     reducing each fluid batch immediately — the worker's unit of work."""
     from .dataset import _summarize_batch  # shared batching helper
 
-    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy)
+    synthesizer = synthesizer or RackRunSynthesizer(policy=config.policy, kernel=config.kernel)
     metrics = metrics if metrics is not None else Metrics()
     items: list[BatchItem] = []
     for plan, run_indices in zip(task.plans, task.run_indices):
@@ -395,6 +396,7 @@ def _shard_worker(task: ShardTask, config: FleetConfig, directory: str) -> tuple
     a telemetry snapshot cross the process boundary back to the parent.
     """
     metrics = Metrics()
+    consume_pending(metrics)  # pool-initializer JIT compile time
     with metrics.span("shards/generate"):
         summaries = synthesize_shard(task, config, metrics=metrics)
         record = _write_shard(directory, task, summaries, metrics)
@@ -574,9 +576,11 @@ class RegionShardStore:
                     label=lambda task: f"shard {task.key.tag}",
                     pool=pool,
                     cancel_event=cancel_event,
+                    initializer=pool_initializer,
+                    initargs=(self.config.kernel,),
                 )
             else:
-                synthesizer = synthesizer or RackRunSynthesizer(policy=self.config.policy)
+                synthesizer = synthesizer or RackRunSynthesizer(policy=self.config.policy, kernel=self.config.kernel)
                 for index, task in enumerate(tasks):
                     if cancel_event is not None and cancel_event.is_set():
                         raise WorkerCancelled(index, len(tasks))

@@ -47,6 +47,7 @@ from ..errors import ConfigError
 from ..obs.metrics import Metrics
 from ..workload.region import RegionSpec
 from .dataset import RackRunPlan, synthesize_rack_day
+from .kernels import consume_pending, pool_initializer
 from .rackrun import RackRunSynthesizer
 
 #: Columnar field orders.  Append-only: the layout is process-private
@@ -359,6 +360,7 @@ def _rack_day_shm_task(
     element) — slower for that one rack-day, never wrong.
     """
     metrics = Metrics()
+    consume_pending(metrics)  # pool-initializer JIT compile time
     summaries = synthesize_rack_day(plan, config, synthesizer, metrics=metrics)
     segment = _attach_segment(segment_name)
     try:
@@ -445,6 +447,8 @@ def run_plans_shm(
             label=_plan_label,
             pool=pool,
             cancel_event=cancel_event,
+            initializer=pool_initializer,
+            initargs=(config.kernel,),
         )
     finally:
         segment.close()

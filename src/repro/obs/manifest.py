@@ -76,7 +76,22 @@ _CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
     "store_dir": (str, type(None)),
     "shard_racks": (int, type(None)),
     "shard_hours": (int, type(None)),
+    # The fluid kernel that ran ("numpy" or "native") — the *resolved*
+    # choice, not the requested setting, so the manifest answers "what
+    # actually executed here".  Execution-only: never in the cache key.
+    "kernel": (str,),
 }
+
+
+def _resolved_kernel(fleet_config) -> str:
+    """The kernel the run's fluid models execute with.
+
+    Imported lazily: ``obs`` must not depend on the fleet package at
+    import time (fleet modules record through ``obs``).
+    """
+    from ..fleet.kernels import resolve_kernel
+
+    return resolve_kernel(getattr(fleet_config, "kernel", "auto"))
 
 
 def _clean_number(value):
@@ -117,6 +132,7 @@ def build_manifest(
             "seed": fleet_config.seed,
             "jobs": fleet_config.jobs,
             "policy": fleet_config.policy.canonical_json(),
+            "kernel": _resolved_kernel(fleet_config),
             "cache_dir": cache_dir,
             "store_dir": store_dir,
             "shard_racks": shard_racks,
@@ -263,6 +279,7 @@ def build_service_metrics(
             "seed": fleet_config.seed,
             "jobs": fleet_config.jobs,
             "policy": fleet_config.policy.canonical_json(),
+            "kernel": _resolved_kernel(fleet_config),
             "cache_dir": cache_dir,
             "store_dir": store_dir,
             "shard_racks": shard_racks,

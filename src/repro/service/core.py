@@ -38,6 +38,7 @@ from ..config import FleetConfig
 from ..errors import ConfigError, WorkerCrashError
 from ..experiments.context import ExperimentContext
 from ..fleet.dataset import DatasetSummary
+from ..fleet.kernels import pool_initializer
 from ..obs.manifest import build_service_metrics
 
 #: Queue sentinel closing a subscriber's event stream.
@@ -300,7 +301,11 @@ class QueryService:
         parent closes it.  Warming at creation (service start / pool
         replacement) pins every fork to a moment with no connections.
         """
-        pool = ProcessPoolExecutor(max_workers=self.pool_jobs())
+        pool = ProcessPoolExecutor(
+            max_workers=self.pool_jobs(),
+            initializer=pool_initializer,
+            initargs=(self.config.fleet.kernel,),
+        )
         for future in [pool.submit(_worker_pid) for _ in range(pool._max_workers)]:
             future.result()
         return pool

@@ -255,7 +255,12 @@ class TestCacheHardening:
 
         base = dataset_cache_key(REGION_A, CONFIG)
         for name in EXECUTION_ONLY_FIELDS:
-            bumped = dataclasses.replace(CONFIG, **{name: getattr(CONFIG, name) + 3})
+            if name == "kernel":
+                # Not numeric: flip to an explicit non-default choice.
+                bumped_value = "numpy"
+            else:
+                bumped_value = getattr(CONFIG, name) + 3
+            bumped = dataclasses.replace(CONFIG, **{name: bumped_value})
             assert dataset_cache_key(REGION_A, bumped) == base, name
 
     def test_key_bearing_fields_each_change_key(self):
